@@ -1,0 +1,52 @@
+"""Shared environments for the experiment benchmarks.
+
+Each bench regenerates one artifact of the paper's evaluation (see
+DESIGN.md §4).  Fixtures are session-scoped: the SDSS-lite catalog and
+workload are the common substrate, built once.
+"""
+
+import pytest
+
+from repro.inum import InumCostModel
+from repro.workloads import sdss_catalog, sdss_workload, tpch_catalog, tpch_workload
+
+SDSS_SCALE = 0.1
+SDSS_QUERIES = 20
+SEED = 42
+
+
+@pytest.fixture(scope="session")
+def sdss_env():
+    """(catalog, workload) for the SDSS-lite setting used across benches."""
+    catalog = sdss_catalog(scale=SDSS_SCALE)
+    workload = sdss_workload(n_queries=SDSS_QUERIES, seed=SEED)
+    return catalog, workload
+
+
+@pytest.fixture(scope="session")
+def sdss_inum(sdss_env):
+    catalog, workload = sdss_env
+    model = InumCostModel(catalog)
+    model.warm(workload)
+    return model
+
+
+@pytest.fixture(scope="session")
+def tpch_env():
+    catalog = tpch_catalog(scale=0.05)
+    workload = tpch_workload(n_queries=15, seed=7)
+    return catalog, workload
+
+
+def print_table(title, header, rows):
+    """Uniform experiment output: the series the demo panels display."""
+    print("\n=== %s ===" % title)
+    print("  " + "  ".join("%14s" % h for h in header))
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append("%14.2f" % value)
+            else:
+                cells.append("%14s" % (value,))
+        print("  " + "  ".join(cells))

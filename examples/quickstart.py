@@ -1,0 +1,39 @@
+"""Quickstart: tune an SDSS-like database in five steps.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Designer, sdss_catalog, sdss_workload
+
+
+def main():
+    # 1. A database: the SDSS-like scientific catalog (statistics-driven,
+    #    no rows need materializing — exactly what a designer consumes).
+    catalog = sdss_catalog(scale=0.1)
+    print("=== Database ===")
+    print(catalog.describe())
+
+    # 2. A workload: 20 astronomy queries (cone searches, magnitude cuts,
+    #    photo-spec joins, aggregates).
+    workload = sdss_workload(n_queries=20, seed=42)
+    print("\n=== Workload ===")
+    print(workload.describe(limit=5))
+
+    # 3. The designer: every component of the paper behind one facade.
+    designer = Designer(catalog)
+
+    # 4. Ask for a design within a storage budget (pages of 8 KiB).
+    budget = int(sum(t.pages for t in catalog.tables) * 0.4)
+    result = designer.recommend(workload, storage_budget_pages=budget)
+    print("\n=== Recommendation (budget %d pages) ===" % budget)
+    print(result.to_text())
+
+    # 5. Materialize it ("physically create the suggested indexes").
+    new_catalog, build_cost = designer.materialize(result.combined_configuration)
+    print("\nMaterialized %d indexes at build cost %.0f." % (
+        len(result.index_recommendation.indexes), build_cost))
+    print("New design size: %d pages." % new_catalog.design_size_pages())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""``python -m repro`` — the designer's command-line interface."""
+
+import sys
+
+from repro.designer.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""AutoPart: automatic partition suggestion (paper §3.3, reference [8]).
+
+AutoPart designs vertical and horizontal partitions for large scientific
+tables.  Following the reference algorithm:
+
+1. **primary fragments** — attributes grouped by identical query-access
+   signature (columns always read together end up together),
+2. **pairwise merging** — fragments are greedily merged while the
+   estimated workload cost improves (merging trades wider scans for fewer
+   row-id stitches),
+3. **replication** — within a storage budget, hot column groups may be
+   duplicated into composite fragments to serve queries that would
+   otherwise span fragments,
+4. **horizontal range partitioning** — a partitioning column and bounds
+   are proposed where predicates allow partition pruning.
+
+Costs come from the INUM-extended cost model, which the paper extends "to
+include partitions".
+"""
+
+from repro.autopart.advisor import AutoPartAdvisor, PartitionRecommendation
+from repro.autopart.rewrite import rewrite_for_layout
+
+__all__ = ["AutoPartAdvisor", "PartitionRecommendation", "rewrite_for_layout"]

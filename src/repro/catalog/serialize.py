@@ -1,0 +1,233 @@
+"""Catalog (de)serialization to plain JSON-compatible dictionaries.
+
+A portable designer must move designs between machines and sessions: the
+demo saves/restores tuning sessions, and our benchmarks pin workload
+snapshots.  The format captures the logical schema, the generative
+distributions, and the current physical design (indexes + partitions).
+Statistics are *not* serialized — they are derived deterministically from
+the distributions on load, exactly as a fresh ANALYZE would.
+"""
+
+import json
+
+from repro.catalog.column import Column
+from repro.catalog.index import Index
+from repro.catalog.partition import (
+    HorizontalPartitioning,
+    VerticalFragment,
+    VerticalLayout,
+)
+from repro.catalog.schema import Catalog
+from repro.catalog.stats import Distribution
+from repro.catalog.table import Table
+from repro.catalog.types import DataType
+from repro.util import CatalogError
+
+FORMAT_VERSION = 1
+
+
+def catalog_to_dict(catalog):
+    """Serializable snapshot of *catalog*."""
+    return {
+        "version": FORMAT_VERSION,
+        "tables": [_table_to_dict(t) for t in catalog.tables],
+        "indexes": [_index_to_dict(ix) for ix in catalog.indexes],
+        "vertical_layouts": [
+            _layout_to_dict(layout)
+            for layout in catalog.vertical_layouts.values()
+        ],
+        "horizontal_partitionings": [
+            {
+                "table": h.table_name,
+                "column": h.column,
+                "bounds": list(h.bounds),
+            }
+            for h in (
+                catalog.horizontal_partitioning(name)
+                for name in catalog.table_names
+            )
+            if h is not None
+        ],
+    }
+
+
+def catalog_from_dict(payload):
+    """Rebuild a catalog (with fresh synthetic statistics)."""
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise CatalogError("unsupported catalog format version %r" % (version,))
+    catalog = Catalog()
+    for tdict in payload.get("tables", ()):
+        catalog.add_table(_table_from_dict(tdict).build_stats())
+    for ixdict in payload.get("indexes", ()):
+        catalog.add_index(_index_from_dict(ixdict))
+    for ldict in payload.get("vertical_layouts", ()):
+        catalog.set_vertical_layout(_layout_from_dict(ldict))
+    for hdict in payload.get("horizontal_partitionings", ()):
+        catalog.set_horizontal_partitioning(
+            HorizontalPartitioning(
+                hdict["table"], hdict["column"], tuple(hdict["bounds"])
+            )
+        )
+    return catalog
+
+
+def save_catalog(catalog, path):
+    with open(path, "w") as f:
+        json.dump(catalog_to_dict(catalog), f, indent=2, sort_keys=True)
+
+
+def load_catalog(path):
+    with open(path) as f:
+        return catalog_from_dict(json.load(f))
+
+
+def configuration_to_dict(configuration):
+    """Serializable snapshot of a hypothetical design (a tuning session's
+    outcome): indexes + partition layouts, independent of any catalog."""
+    return {
+        "version": FORMAT_VERSION,
+        "indexes": [
+            _index_to_dict(ix)
+            for ix in sorted(configuration.indexes, key=lambda i: i.name)
+        ],
+        "vertical_layouts": [
+            _layout_to_dict(layout) for layout in configuration.layouts
+        ],
+        "horizontal_partitionings": [
+            {"table": h.table_name, "column": h.column, "bounds": list(h.bounds)}
+            for h in configuration.horizontals
+        ],
+    }
+
+
+def configuration_from_dict(payload):
+    from repro.whatif import Configuration
+
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise CatalogError(
+            "unsupported configuration format version %r" % (version,)
+        )
+    return Configuration(
+        indexes=frozenset(
+            _index_from_dict(d) for d in payload.get("indexes", ())
+        ),
+        layouts=tuple(
+            _layout_from_dict(d) for d in payload.get("vertical_layouts", ())
+        ),
+        horizontals=tuple(
+            HorizontalPartitioning(d["table"], d["column"], tuple(d["bounds"]))
+            for d in payload.get("horizontal_partitionings", ())
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+
+
+def _distribution_to_dict(dist):
+    if dist is None:
+        return None
+    return {
+        "kind": dist.kind,
+        "low": dist.low,
+        "high": dist.high,
+        "n_values": dist.n_values,
+        "s": dist.s,
+        "mu": dist.mu,
+        "sigma": dist.sigma,
+        "values": list(dist.values),
+        "probs": list(dist.probs),
+        "correlation": dist.correlation,
+        "null_frac": dist.null_frac,
+    }
+
+
+def _distribution_from_dict(payload):
+    if payload is None:
+        return None
+    return Distribution(
+        kind=payload["kind"],
+        low=payload.get("low", 0.0),
+        high=payload.get("high", 1.0),
+        n_values=payload.get("n_values", 0),
+        s=payload.get("s", 1.1),
+        mu=payload.get("mu", 0.0),
+        sigma=payload.get("sigma", 1.0),
+        values=tuple(payload.get("values", ())),
+        probs=tuple(payload.get("probs", ())),
+        correlation=payload.get("correlation", 0.0),
+        null_frac=payload.get("null_frac", 0.0),
+    )
+
+
+def _table_to_dict(table):
+    return {
+        "name": table.name,
+        "row_count": table.row_count,
+        "columns": [
+            {
+                "name": col.name,
+                "type": col.dtype.value,
+                "width": col.width,
+                "nullable": col.nullable,
+                "distribution": _distribution_to_dict(col.distribution),
+            }
+            for col in table.columns
+        ],
+    }
+
+
+def _table_from_dict(payload):
+    columns = [
+        Column(
+            cdict["name"],
+            DataType(cdict["type"]),
+            distribution=_distribution_from_dict(cdict.get("distribution")),
+            width=cdict.get("width", 0),
+            nullable=cdict.get("nullable", True),
+        )
+        for cdict in payload["columns"]
+    ]
+    return Table(payload["name"], columns, row_count=payload["row_count"])
+
+
+def _index_to_dict(index):
+    return {
+        "table": index.table_name,
+        "columns": list(index.columns),
+        "include": list(index.include),
+        "unique": index.unique,
+        "name": index.name,
+    }
+
+
+def _index_from_dict(payload):
+    return Index(
+        payload["table"],
+        tuple(payload["columns"]),
+        include=tuple(payload.get("include", ())),
+        unique=payload.get("unique", False),
+        name=payload.get("name", ""),
+    )
+
+
+def _layout_to_dict(layout):
+    return {
+        "table": layout.table_name,
+        "fragments": [
+            {"columns": list(f.columns), "name": f.name}
+            for f in layout.fragments
+        ],
+    }
+
+
+def _layout_from_dict(payload):
+    fragments = tuple(
+        VerticalFragment(
+            payload["table"], tuple(f["columns"]), name=f.get("name", "")
+        )
+        for f in payload["fragments"]
+    )
+    return VerticalLayout(payload["table"], fragments)

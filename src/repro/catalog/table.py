@@ -1,0 +1,79 @@
+"""Table definitions with the heap size model attached."""
+
+from dataclasses import dataclass, field
+
+from repro.catalog.column import Column
+from repro.catalog import pagemodel
+from repro.util import CatalogError
+
+
+@dataclass
+class Table:
+    """A base table: columns plus cardinality, with derived page counts."""
+
+    name: str
+    columns: list
+    row_count: int = 0
+
+    _by_name: dict = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self):
+        if not self.name or not self.name.islower():
+            raise CatalogError("table names must be non-empty lower-case: %r" % (self.name,))
+        if self.row_count < 0:
+            raise CatalogError("row_count must be non-negative")
+        self._by_name = {}
+        for col in self.columns:
+            if not isinstance(col, Column):
+                raise CatalogError("columns must be Column instances")
+            if col.name in self._by_name:
+                raise CatalogError("duplicate column %r in table %r" % (col.name, self.name))
+            self._by_name[col.name] = col
+
+    # ------------------------------------------------------------------
+
+    def column(self, name):
+        """Look up a column by name, raising :class:`CatalogError` if absent."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise CatalogError("no column %r in table %r" % (name, self.name)) from None
+
+    def has_column(self, name):
+        return name in self._by_name
+
+    @property
+    def column_names(self):
+        return [c.name for c in self.columns]
+
+    def row_width(self, column_names=None):
+        """Average data width of a full row, or of a projection."""
+        if column_names is None:
+            cols = self.columns
+        else:
+            cols = [self.column(n) for n in column_names]
+        return sum(c.width for c in cols)
+
+    @property
+    def pages(self):
+        return pagemodel.heap_pages(self.row_count, self.row_width())
+
+    def projection_pages(self, column_names):
+        """Heap pages a vertical fragment holding *column_names* would use
+        (includes the 8-byte row id that stitches fragments back together)."""
+        width = self.row_width(column_names) + 8
+        return pagemodel.heap_pages(self.row_count, width)
+
+    # ------------------------------------------------------------------
+
+    def build_stats(self, n_buckets=100):
+        """Materialize synthetic statistics on every column."""
+        for col in self.columns:
+            col.build_stats(self.row_count, n_buckets=n_buckets)
+        return self
+
+    def stats(self, column_name):
+        col = self.column(column_name)
+        if col.stats is None:
+            col.build_stats(self.row_count)
+        return col.stats

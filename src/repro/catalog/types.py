@@ -1,0 +1,59 @@
+"""Column data types and their physical widths.
+
+Widths follow PostgreSQL's on-disk sizes; variable-length types carry a
+default average width that :class:`~repro.catalog.column.Column` may
+override per column.
+"""
+
+import enum
+
+
+class DataType(enum.Enum):
+    """Supported column types (a practical subset of PostgreSQL's)."""
+
+    SMALLINT = "smallint"
+    INT = "int"
+    BIGINT = "bigint"
+    FLOAT = "float"
+    DOUBLE = "double"
+    BOOL = "bool"
+    DATE = "date"
+    TIMESTAMP = "timestamp"
+    TEXT = "text"
+
+    @property
+    def default_width(self):
+        """Average on-disk width in bytes."""
+        return _WIDTHS[self]
+
+    @property
+    def is_numeric(self):
+        return self in _NUMERIC
+
+    @property
+    def is_orderable(self):
+        """All supported types are orderable (btree-indexable)."""
+        return True
+
+
+_WIDTHS = {
+    DataType.SMALLINT: 2,
+    DataType.INT: 4,
+    DataType.BIGINT: 8,
+    DataType.FLOAT: 4,
+    DataType.DOUBLE: 8,
+    DataType.BOOL: 1,
+    DataType.DATE: 4,
+    DataType.TIMESTAMP: 8,
+    DataType.TEXT: 32,  # average; override per column
+}
+
+_NUMERIC = frozenset(
+    {
+        DataType.SMALLINT,
+        DataType.INT,
+        DataType.BIGINT,
+        DataType.FLOAT,
+        DataType.DOUBLE,
+    }
+)

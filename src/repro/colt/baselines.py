@@ -1,0 +1,59 @@
+"""Baselines for judging online tuning quality.
+
+* :func:`no_tuning_cost` — leave the database alone (the demo's "before"
+  picture);
+* :func:`static_oracle` — the best *static* design chosen with hindsight
+  over the whole stream (an offline CoPhy run on the full trace).  An
+  online tuner cannot beat a clairvoyant static design on a static
+  workload, but on a drifting one it can, because no single configuration
+  fits all phases — exactly the regime Scenario 3 demonstrates.
+"""
+
+from dataclasses import dataclass
+
+from repro.cophy import CoPhyAdvisor
+from repro.cophy.compression import compress_workload
+from repro.whatif import WhatIfSession
+from repro.workloads.workload import Workload
+
+
+def no_tuning_cost(catalog, stream):
+    """Total cost of the stream with the existing design untouched."""
+    session = WhatIfSession(catalog)
+    total = 0.0
+    for item in stream:
+        sql = item[1] if isinstance(item, tuple) else item
+        total += session.cost(sql)
+    return total
+
+
+@dataclass
+class OracleResult:
+    configuration: object
+    stream_cost: float
+    build_cost: float
+
+    @property
+    def total_cost(self):
+        return self.stream_cost + self.build_cost
+
+
+def static_oracle(catalog, stream, space_budget_pages, max_candidates=40):
+    """Best static configuration in hindsight for the whole stream."""
+    statements = [
+        item[1] if isinstance(item, tuple) else item for item in stream
+    ]
+    workload = Workload((sql, 1.0) for sql in statements)
+    compressed, __ = compress_workload(catalog, workload)
+    advisor = CoPhyAdvisor(catalog)
+    recommendation = advisor.recommend(
+        compressed, space_budget_pages, max_candidates=max_candidates
+    )
+    config = recommendation.configuration
+    session = WhatIfSession(catalog)
+    stream_cost = sum(session.cost(sql, config) for sql in statements)
+    return OracleResult(
+        configuration=config,
+        stream_cost=stream_cost,
+        build_cost=config.build_cost(catalog),
+    )

@@ -1,0 +1,363 @@
+"""The COLT online tuner.
+
+Life cycle per observed query:
+
+1. charge the query's cost under the currently materialized design,
+2. extract candidate single-column indexes from its sargable predicates,
+3. spend what-if probes (within the epoch budget) refining gain estimates
+   for the most promising / least known candidates.
+
+At each epoch boundary the tuner smooths per-candidate gains with an
+EWMA, solves a benefit-density knapsack under the space budget, and — if
+the winning configuration differs enough from the current one — raises an
+alert; with ``auto_adopt`` it also pays the build cost and switches.
+
+The *self-regulating* probe budget follows the COLT paper: while the
+chosen configuration is stable the budget decays, and any workload shift
+(new candidate columns appearing) restores it.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.catalog import Index
+from repro.whatif import Configuration, WhatIfSession
+
+
+@dataclass(frozen=True)
+class ColtSettings:
+    """Tuning knobs for the online designer."""
+
+    epoch_length: int = 25
+    space_budget_pages: int = 50_000
+    whatif_budget: int = 40  # probes per epoch at full throttle
+    min_whatif_budget: int = 8
+    ewma_alpha: float = 0.35
+    adopt_threshold: float = 0.05  # min relative improvement to alert
+    amortization_epochs: int = 10  # horizon over which build cost must pay off
+    auto_adopt: bool = True
+
+
+@dataclass
+class EpochRecord:
+    """What happened in one epoch (one row of the Scenario-3 panel)."""
+
+    epoch: int
+    queries: int
+    observed_cost: float  # workload cost actually paid this epoch
+    build_cost: float  # materialization cost charged this epoch
+    whatif_probes: int
+    alert: bool
+    adopted: bool
+    configuration: tuple  # index names materialized at epoch end
+
+    @property
+    def total_cost(self):
+        return self.observed_cost + self.build_cost
+
+
+@dataclass
+class OnlineReport:
+    """Stream-level outcome: per-epoch records plus totals."""
+
+    epochs: list = field(default_factory=list)
+    alerts: int = 0
+    adoptions: int = 0
+
+    @property
+    def observed_cost(self):
+        return sum(e.observed_cost for e in self.epochs)
+
+    @property
+    def build_cost(self):
+        return sum(e.build_cost for e in self.epochs)
+
+    @property
+    def total_cost(self):
+        return self.observed_cost + self.build_cost
+
+    @property
+    def whatif_probes(self):
+        return sum(e.whatif_probes for e in self.epochs)
+
+    def sparkline(self):
+        """Per-epoch observed cost as a block-character sparkline — the
+        terminal stand-in for the demo's performance chart."""
+        if not self.epochs:
+            return ""
+        blocks = "▁▂▃▄▅▆▇█"
+        values = [e.observed_cost for e in self.epochs]
+        low, high = min(values), max(values)
+        span = (high - low) or 1.0
+        return "".join(
+            blocks[min(len(blocks) - 1, int((v - low) / span * (len(blocks) - 1)))]
+            for v in values
+        )
+
+    def to_text(self, max_rows=30):
+        lines = [
+            "%-6s %8s %12s %12s %7s %6s  %s"
+            % ("epoch", "queries", "observed", "build", "probes", "alert", "configuration")
+        ]
+        for e in self.epochs[:max_rows]:
+            lines.append(
+                "%-6d %8d %12.1f %12.1f %7d %6s  %s"
+                % (
+                    e.epoch,
+                    e.queries,
+                    e.observed_cost,
+                    e.build_cost,
+                    e.whatif_probes,
+                    "*" if e.alert else "",
+                    ",".join(e.configuration) or "(none)",
+                )
+            )
+        if len(self.epochs) > max_rows:
+            lines.append("... (%d more epochs)" % (len(self.epochs) - max_rows))
+        lines.append(
+            "totals: observed=%.1f build=%.1f alerts=%d adoptions=%d probes=%d"
+            % (self.observed_cost, self.build_cost, self.alerts, self.adoptions,
+               self.whatif_probes)
+        )
+        if self.epochs:
+            lines.append("observed cost per epoch: %s" % self.sparkline())
+        return "\n".join(lines)
+
+
+@dataclass
+class _CandidateState:
+    index: Index
+    ewma_gain: float = 0.0  # smoothed per-epoch gain
+    epoch_gain: float = 0.0  # raw gain observed this epoch
+    ewma_maintenance: float = 0.0  # smoothed per-epoch write maintenance
+    epoch_maintenance: float = 0.0
+    probes: int = 0  # lifetime probe count
+    last_seen_epoch: int = 0
+
+
+class ColtTuner:
+    """Continuous tuning over one catalog.
+
+    Use :meth:`observe` per query (or :meth:`run` for a whole stream).
+    The component "operates additionally to the rest of the tool and can
+    be enabled or disabled" — disabled means simply not calling observe.
+    """
+
+    def __init__(self, catalog, settings=None, planner_settings=None):
+        self.catalog = catalog
+        self.settings = settings or ColtSettings()
+        self.session = WhatIfSession(catalog, planner_settings)
+        self.current = Configuration.empty()
+        self.candidates = {}  # Index -> _CandidateState
+        self.report = OnlineReport()
+        self._epoch_queries = []
+        self._epoch_probes = 0
+        self._epoch_no = 0
+        self._stable_epochs = 0
+        self._budget = self.settings.whatif_budget
+        self._pending_alert = None
+
+    # ------------------------------------------------------------------
+
+    def run(self, stream):
+        """Consume an iterable of SQL strings (or (tag, sql) pairs)."""
+        for item in stream:
+            sql = item[1] if isinstance(item, tuple) else item
+            self.observe(sql)
+        self.flush()
+        return self.report
+
+    def observe(self, sql):
+        self._epoch_queries.append(sql)
+        self._harvest_candidates(sql)
+        self._probe(sql)
+        if len(self._epoch_queries) >= self.settings.epoch_length:
+            self._end_epoch()
+
+    def flush(self):
+        """Close a partial trailing epoch."""
+        if self._epoch_queries:
+            self._end_epoch()
+
+    @property
+    def pending_alert(self):
+        """The configuration last proposed but not (yet) adopted."""
+        return self._pending_alert
+
+    # ------------------------------------------------------------------
+
+    def _harvest_candidates(self, sql):
+        bq = self.session.base_service.bound(sql)
+        if getattr(bq, "is_write", False):
+            self._charge_maintenance(bq)
+            return
+        fresh = False
+        for alias in bq.aliases:
+            table = bq.table_for(alias)
+            columns = set()
+            for f in bq.filters_for(alias):
+                if f.sargable:
+                    columns.add(f.column)
+            for clause in bq.joins_for(alias):
+                col, __, __ = clause.side_for(alias)
+                columns.add(col)
+            for col in columns:
+                index = Index(table.name, (col,))
+                if index not in self.candidates:
+                    self.candidates[index] = _CandidateState(
+                        index=index, last_seen_epoch=self._epoch_no
+                    )
+                    fresh = True
+                else:
+                    self.candidates[index].last_seen_epoch = self._epoch_no
+        if fresh:
+            # Workload shift detected: restore the full probing budget.
+            self._budget = self.settings.whatif_budget
+            self._stable_epochs = 0
+
+    def _probe_priority(self, state):
+        """Probe unexplored candidates first, then the highest earners."""
+        return (state.probes > 0, -state.ewma_gain, state.index.name)
+
+    def _charge_maintenance(self, bound_write):
+        """Accumulate the per-epoch maintenance a write would impose on
+        every candidate, so the knapsack can net it out of the gains."""
+        from repro.optimizer.writecost import (
+            affected_rows,
+            index_maintenance_cost_per_row,
+        )
+
+        rows = affected_rows(bound_write)
+        settings = self.session.base_service.settings
+        for state in self.candidates.values():
+            if bound_write.touches_index(state.index):
+                per_row = index_maintenance_cost_per_row(
+                    state.index, bound_write.table, settings
+                )
+                state.epoch_maintenance += rows * per_row
+
+    def _probe(self, sql):
+        if self._epoch_probes >= self._budget:
+            return
+        bq = self.session.base_service.bound(sql)
+        if getattr(bq, "is_write", False):
+            return  # probing refines read gains only
+        tables = {t.name for t in bq.tables.values()}
+        relevant = [
+            s for s in self.candidates.values()
+            if s.index.table_name in tables and s.index not in self.current.indexes
+        ]
+        relevant.sort(key=self._probe_priority)
+        base_cost = self.session.cost(bq, self.current)
+        for state in relevant:
+            if self._epoch_probes >= self._budget:
+                break
+            probed = self.session.cost(bq, self.current.with_indexes(state.index))
+            state.epoch_gain += max(0.0, base_cost - probed)
+            state.probes += 1
+            self._epoch_probes += 1
+
+    # ------------------------------------------------------------------
+
+    def _end_epoch(self):
+        settings = self.settings
+        observed = sum(
+            self.session.cost(sql, self.current) for sql in self._epoch_queries
+        )
+
+        alpha = settings.ewma_alpha
+        for state in self.candidates.values():
+            state.ewma_gain = alpha * state.epoch_gain + (1 - alpha) * state.ewma_gain
+            state.epoch_gain = 0.0
+            state.ewma_maintenance = (
+                alpha * state.epoch_maintenance + (1 - alpha) * state.ewma_maintenance
+            )
+            state.epoch_maintenance = 0.0
+
+        proposal = self._select_configuration()
+        alert, adopted, build_cost = False, False, 0.0
+        if proposal != self.current:
+            improvement = self._projected_improvement(proposal)
+            if improvement > settings.adopt_threshold:
+                alert = True
+                self.report.alerts += 1
+                self._pending_alert = proposal
+                if settings.auto_adopt:
+                    build_cost = self._materialization_cost(proposal)
+                    self.current = proposal
+                    self._pending_alert = None
+                    adopted = True
+                    self.report.adoptions += 1
+
+        if adopted:
+            self._stable_epochs = 0
+        else:
+            self._stable_epochs += 1
+            if self._stable_epochs >= 2:
+                # Self-regulation: stable design, throttle probing.
+                self._budget = max(settings.min_whatif_budget, self._budget // 2)
+
+        self.report.epochs.append(
+            EpochRecord(
+                epoch=self._epoch_no,
+                queries=len(self._epoch_queries),
+                observed_cost=observed,
+                build_cost=build_cost,
+                whatif_probes=self._epoch_probes,
+                alert=alert,
+                adopted=adopted,
+                configuration=tuple(
+                    sorted(ix.name for ix in self.current.indexes)
+                ),
+            )
+        )
+        self._epoch_queries = []
+        self._epoch_probes = 0
+        self._epoch_no += 1
+
+    def _select_configuration(self):
+        """Benefit-density knapsack over candidates with positive net value."""
+        settings = self.settings
+        scored = []
+        for state in self.candidates.values():
+            if state.ewma_gain <= state.ewma_maintenance:
+                continue
+            index = state.index
+            size = index.size_pages(self.catalog.table(index.table_name))
+            net_gain = state.ewma_gain - state.ewma_maintenance
+            horizon_gain = net_gain * settings.amortization_epochs
+            if index not in self.current.indexes:
+                horizon_gain -= index.build_cost(
+                    self.catalog.table(index.table_name)
+                )
+            if horizon_gain <= 0.0:
+                continue
+            scored.append((horizon_gain / max(1, size), horizon_gain, size, index))
+        scored.sort(key=lambda t: (-t[0], t[3].name))
+        chosen, used = [], 0
+        for __, __, size, index in scored:
+            if used + size <= settings.space_budget_pages:
+                chosen.append(index)
+                used += size
+        return Configuration(indexes=frozenset(chosen))
+
+    def _projected_improvement(self, proposal):
+        """Relative per-epoch gain of switching to *proposal*."""
+        gain = 0.0
+        for state in self.candidates.values():
+            if state.index in proposal.indexes and state.index not in self.current.indexes:
+                gain += state.ewma_gain
+        recent = self.report.epochs[-1].observed_cost if self.report.epochs else 0.0
+        baseline = max(recent, 1e-9)
+        if not self.report.epochs:
+            # First epoch: compare against this epoch's observed cost.
+            baseline = max(
+                sum(self.session.cost(s, self.current) for s in self._epoch_queries),
+                1e-9,
+            )
+        return gain / baseline
+
+    def _materialization_cost(self, proposal):
+        cost = 0.0
+        for index in proposal.indexes - self.current.indexes:
+            cost += index.build_cost(self.catalog.table(index.table_name))
+        return cost

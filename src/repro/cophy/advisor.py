@@ -1,0 +1,150 @@
+"""The automatic index suggestion component (paper §3.2.1).
+
+Glues the pipeline together: candidate generation -> INUM warm-up ->
+BIP construction -> solver -> :class:`Recommendation`.  The DBA-facing
+knobs are the storage budget, the candidate cap, and the solver choice
+(CoPhy's "trade off execution time against the quality of the suggested
+solutions").
+"""
+
+import time
+from dataclasses import dataclass, field
+
+from repro.cophy.bip import build_bip
+from repro.cophy.candidates import candidate_indexes
+from repro.cophy.greedy import greedy_select
+from repro.cophy.solvers import solve_bip, solve_branch_and_bound, solve_lp_rounding
+from repro.inum import InumCostModel
+from repro.util import DesignError
+from repro.whatif import Configuration
+
+_SOLVERS = {
+    "milp": solve_bip,
+    "bnb": solve_branch_and_bound,
+    "lp-rounding": solve_lp_rounding,
+    "greedy": greedy_select,
+    "greedy-benefit": lambda problem: greedy_select(problem, by_ratio=False),
+}
+
+
+@dataclass
+class Recommendation:
+    """An index recommendation with its predicted impact."""
+
+    indexes: list
+    configuration: Configuration
+    base_workload_cost: float
+    predicted_workload_cost: float
+    size_pages: int
+    budget_pages: int
+    solver: str
+    solve_seconds: float = 0.0
+    optimizer_calls: int = 0
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def benefit(self):
+        return self.base_workload_cost - self.predicted_workload_cost
+
+    @property
+    def improvement_pct(self):
+        if self.base_workload_cost <= 0:
+            return 0.0
+        return 100.0 * self.benefit / self.base_workload_cost
+
+    def to_text(self):
+        lines = ["Recommended indexes (%s):" % self.solver]
+        if not self.indexes:
+            lines.append("  (none — budget too small or nothing helps)")
+        for ix in self.indexes:
+            lines.append("  %s" % ix.sql())
+        lines.append(
+            "storage: %d of %d pages; workload cost %.1f -> %.1f (%.1f%% better)"
+            % (
+                self.size_pages,
+                self.budget_pages,
+                self.base_workload_cost,
+                self.predicted_workload_cost,
+                self.improvement_pct,
+            )
+        )
+        return "\n".join(lines)
+
+
+class CoPhyAdvisor:
+    """Offline index advisor for one catalog."""
+
+    def __init__(self, catalog, settings=None, cost_model=None):
+        self.catalog = catalog
+        self.cost_model = cost_model or InumCostModel(catalog, settings)
+
+    def recommend(
+        self,
+        workload,
+        budget_pages,
+        candidates=None,
+        solver="milp",
+        max_candidates=60,
+        max_indexes=None,
+        compress=False,
+    ):
+        """Suggest indexes for *workload* within *budget_pages* of storage.
+
+        ``max_indexes`` caps how many indexes may be chosen (a common DBA
+        constraint next to raw storage).  ``compress=True`` clusters
+        same-shaped statements before building the BIP, shrinking solve
+        time for large workloads with repeated templates.
+        """
+        if budget_pages < 0:
+            raise DesignError("storage budget must be non-negative")
+        if solver not in _SOLVERS:
+            raise DesignError(
+                "unknown solver %r (have: %s)" % (solver, sorted(_SOLVERS))
+            )
+        workload = list(workload)
+        if not workload:
+            raise DesignError("cannot tune an empty workload")
+
+        started = time.perf_counter()
+        calls_before = self.cost_model.precompute_calls
+        compression_stats = None
+        if compress:
+            from repro.cophy.compression import compress_workload
+
+            compressed, compression_stats = compress_workload(
+                self.catalog, workload
+            )
+            workload = list(compressed)
+        if candidates is None:
+            candidates = candidate_indexes(
+                self.catalog, workload, max_candidates=max_candidates
+            )
+        problem = build_bip(
+            self.cost_model, workload, candidates, budget_pages,
+            max_indexes=max_indexes,
+        )
+        result = _SOLVERS[solver](problem)
+
+        chosen = [candidates[pos] for pos in result.chosen_positions]
+        config = Configuration(indexes=frozenset(chosen))
+        return Recommendation(
+            indexes=sorted(chosen, key=lambda ix: ix.name),
+            configuration=config,
+            base_workload_cost=problem.config_cost(()),
+            predicted_workload_cost=result.objective,
+            size_pages=int(problem.config_size(result.chosen_positions)),
+            budget_pages=int(budget_pages),
+            solver=result.solver,
+            solve_seconds=time.perf_counter() - started,
+            optimizer_calls=self.cost_model.precompute_calls - calls_before,
+            stats={
+                "n_candidates": len(candidates),
+                "n_variables": result.n_variables,
+                "n_constraints": result.n_constraints,
+                "lower_bound": result.lower_bound,
+                "gap": result.gap,
+                "status": result.status,
+                "nodes": result.nodes_explored,
+                "compression": compression_stats,
+            },
+        )

@@ -1,0 +1,201 @@
+"""Construction of CoPhy's binary integer program from INUM plan caches.
+
+For workload query *q* with weight ``w_q``, INUM supplies cached plans
+``e`` with internal cost ``c_qe`` and access slots.  For every slot the
+BIP offers options: the *default* access (sequential scan / whatever the
+base design already provides) and one option per compatible candidate
+index ``j`` with analytic access cost.  Decision variables:
+
+* ``y_j``      — build candidate index j
+* ``z_qe``     — query q executes cached plan e
+* ``x_qeso``   — slot s of (q, e) uses option o
+
+subject to  Σ_e z_qe = 1,  Σ_o x_qeso = z_qe,  x(option j) ≤ y_j, and
+Σ_j size_j · y_j ≤ budget.  The objective sums weighted internal and
+access costs.  By construction the optimum equals
+``min_config INUM(workload, config)`` over configurations within budget —
+CoPhy's quality guarantee.
+"""
+
+import math
+from dataclasses import dataclass, field
+
+from repro.inum.cache import _DesignView, _access_cost
+from repro.optimizer.writecost import (
+    affected_rows,
+    heap_write_cost,
+    index_maintenance_cost_per_row,
+    locate_query,
+    maintenance_cost,
+)
+from repro.sql.binder import BoundWrite
+from repro.whatif import Configuration
+
+
+@dataclass
+class SlotOptions:
+    """Cost options for one access slot: index -1 is the default access."""
+
+    options: list  # list of (candidate_index_position or -1, cost)
+
+
+@dataclass
+class PlanTerm:
+    internal_cost: float
+    slots: list  # list of SlotOptions
+
+
+@dataclass
+class QueryTerm:
+    weight: float
+    plans: list  # list of PlanTerm
+    sql: str = ""
+
+
+@dataclass
+class BipProblem:
+    candidates: list
+    sizes: list  # pages per candidate
+    budget_pages: float
+    queries: list = field(default_factory=list)
+    max_indexes: int = None  # optional cap on the number of chosen indexes
+    # Write-statement terms: a design-independent base (heap writes, locate
+    # under the existing design, maintenance of existing indexes) plus a
+    # per-candidate maintenance penalty incurred when that index is built.
+    write_base_cost: float = 0.0
+    index_penalties: list = field(default_factory=list)
+
+    @property
+    def n_candidates(self):
+        return len(self.candidates)
+
+    def config_cost(self, chosen_positions):
+        """Objective value of a given set of candidate positions — the
+        best z/x completion is computed greedily (it decomposes)."""
+        chosen = set(chosen_positions)
+        total = self.write_base_cost
+        if self.index_penalties:
+            total += sum(self.index_penalties[pos] for pos in chosen)
+        for q in self.queries:
+            best = math.inf
+            for plan in q.plans:
+                cost = plan.internal_cost
+                feasible = True
+                for slot in plan.slots:
+                    usable = [
+                        c for pos, c in slot.options if pos == -1 or pos in chosen
+                    ]
+                    if not usable:
+                        feasible = False
+                        break
+                    cost += min(usable)
+                if feasible:
+                    best = min(best, cost)
+            if not math.isfinite(best):
+                raise RuntimeError("BIP has an infeasible query term")
+            total += q.weight * best
+        return total
+
+    def config_size(self, chosen_positions):
+        return sum(self.sizes[pos] for pos in set(chosen_positions))
+
+
+def build_bip(inum_model, workload, candidates, budget_pages, max_indexes=None):
+    """Assemble the BIP for *workload* over *candidates* under a budget."""
+    catalog = inum_model.catalog
+    settings = inum_model.settings
+    sizes = [
+        float(ix.size_pages(catalog.table(ix.table_name))) for ix in candidates
+    ]
+    by_table = {}
+    for pos, ix in enumerate(candidates):
+        by_table.setdefault(ix.table_name, []).append(pos)
+
+    default_view = _DesignView(catalog, Configuration.empty())
+    single_views = [
+        _DesignView(catalog, Configuration.of(ix)) for ix in candidates
+    ]
+
+    problem = BipProblem(
+        candidates=list(candidates),
+        sizes=sizes,
+        budget_pages=float(budget_pages),
+        max_indexes=max_indexes,
+        index_penalties=[0.0] * len(candidates),
+    )
+    def add_query_term(bq_or_sql, weight):
+        cache = inum_model.cache_for(bq_or_sql)
+        bq = cache.bound_query
+        term = QueryTerm(weight=weight, plans=[], sql=bq.sql)
+        for cached in cache.plans:
+            plan_term = PlanTerm(internal_cost=cached.internal_cost, slots=[])
+            feasible = True
+            for slot in cached.slots:
+                options = []
+                default = _access_cost(slot, bq, default_view, settings)
+                if default is not None:
+                    options.append((-1, default))
+                for pos in by_table.get(slot.table_name, ()):
+                    cost = _access_cost(slot, bq, single_views[pos], settings)
+                    if cost is not None and (default is None or cost < default):
+                        options.append((pos, cost))
+                if not options:
+                    feasible = False
+                    break
+                plan_term.slots.append(SlotOptions(options=options))
+            if feasible:
+                term.plans.append(plan_term)
+        if not term.plans:
+            raise RuntimeError("no feasible cached plan for %r" % (term.sql,))
+        problem.queries.append(term)
+
+    for sql, weight in _pairs(workload):
+        bound = inum_model.bound(sql)
+        if isinstance(bound, BoundWrite):
+            _add_write_terms(
+                problem, inum_model, bound, weight, candidates, add_query_term
+            )
+            continue
+        add_query_term(bound, weight)
+    return problem
+
+
+def _add_write_terms(problem, inum_model, bound_write, weight, candidates,
+                     add_query_term):
+    """Fold one write statement into the BIP.
+
+    Three parts, making the BIP objective coincide with INUM's exact
+    mixed-workload cost:
+
+    * the *locate* step of updates/deletes is added as a full query term
+      (so candidate indexes are credited for finding the rows faster);
+    * the design-independent base: heap modification plus maintaining the
+      indexes that already exist;
+    * a linear maintenance penalty per candidate touched by the write.
+    """
+    settings = inum_model.settings
+    base = heap_write_cost(bound_write, settings)
+    base += maintenance_cost(
+        bound_write,
+        inum_model.catalog.indexes_on(bound_write.table.name),
+        settings,
+    )
+    problem.write_base_cost += weight * base
+    if bound_write.kind in ("update", "delete"):
+        add_query_term(locate_query(bound_write), weight)
+
+    rows = affected_rows(bound_write)
+    for pos, index in enumerate(candidates):
+        if bound_write.touches_index(index):
+            per_row = index_maintenance_cost_per_row(
+                index, bound_write.table, settings
+            )
+            problem.index_penalties[pos] += weight * rows * per_row
+
+
+def _pairs(workload):
+    for entry in workload:
+        if isinstance(entry, tuple) and len(entry) == 2:
+            yield entry
+        else:
+            yield entry, 1.0

@@ -1,0 +1,98 @@
+"""Candidate index generation from a workload.
+
+Mines the bound queries for indexable columns and emits:
+
+* single-column indexes on every sargable filter, join, grouping and
+  ordering column,
+* two-column composites pairing equality columns with range/join columns
+  from the same query (the classic "merge eligible prefixes" rule),
+* optionally, covering variants (key + INCLUDE of the query's referenced
+  columns) that enable index-only scans.
+
+Candidates are scored by the summed weight of the queries they could
+serve and capped at *max_candidates* — the knob the paper exposes for
+trading solve time against solution quality.
+"""
+
+from repro.catalog import Index
+from repro.sql.binder import BoundWrite, bind_statement
+
+MAX_INCLUDE_COLUMNS = 6
+
+
+def candidate_indexes(
+    catalog,
+    workload,
+    max_candidates=60,
+    include_covering=True,
+    composite_pairs=True,
+):
+    """Return candidate :class:`Index` objects, highest-scored first."""
+    scores = {}
+
+    def vote(index, weight):
+        scores[index] = scores.get(index, 0.0) + weight
+
+    for sql, weight in _pairs(workload):
+        bq = bind_statement(sql, catalog)
+        if isinstance(bq, BoundWrite):
+            # Writes only spawn locate-helping candidates; the maintenance
+            # penalty side is handled by the BIP's write terms.
+            for f in bq.filters:
+                if f.sargable:
+                    vote(Index(bq.table.name, (f.column,)), weight)
+            continue
+        for alias in bq.aliases:
+            table = bq.table_for(alias)
+            referenced = bq.referenced_columns(alias)
+            eq_cols, range_cols = [], []
+            for f in bq.filters_for(alias):
+                if not f.sargable:
+                    continue
+                bucket = eq_cols if f.kind in ("eq", "in") else range_cols
+                if f.column not in bucket:
+                    bucket.append(f.column)
+            join_cols = []
+            for clause in bq.joins_for(alias):
+                col, __, __ = clause.side_for(alias)
+                if col not in join_cols:
+                    join_cols.append(col)
+            other_cols = []
+            for a, c in bq.group_by:
+                if a == alias and c not in other_cols:
+                    other_cols.append(c)
+            for a, c, __ in bq.order_by:
+                if a == alias and c not in other_cols:
+                    other_cols.append(c)
+
+            for col in eq_cols + range_cols + join_cols + other_cols:
+                vote(Index(table.name, (col,)), weight)
+
+            if composite_pairs:
+                for eq in eq_cols:
+                    for second in range_cols + join_cols + other_cols:
+                        if second != eq:
+                            vote(Index(table.name, (eq, second)), weight)
+                for i, eq1 in enumerate(eq_cols):
+                    for eq2 in eq_cols[i + 1:]:
+                        vote(Index(table.name, (eq1, eq2)), weight)
+                for join_col in join_cols:
+                    for second in range_cols:
+                        vote(Index(table.name, (join_col, second)), weight)
+
+            if include_covering and len(referenced) <= MAX_INCLUDE_COLUMNS + 1:
+                for col in eq_cols + range_cols + join_cols:
+                    rest = tuple(sorted(referenced - {col}))
+                    if rest:
+                        vote(Index(table.name, (col,), include=rest), weight)
+
+    ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0].name))
+    return [index for index, __ in ranked[:max_candidates]]
+
+
+def _pairs(workload):
+    for entry in workload:
+        if isinstance(entry, tuple) and len(entry) == 2:
+            yield entry
+        else:
+            yield entry, 1.0

@@ -1,0 +1,278 @@
+"""Solver backends for the CoPhy binary program.
+
+* :func:`solve_bip` — HiGHS branch-and-cut via ``scipy.optimize.milp``
+  (the "sophisticated and mature solver" the paper plugs in),
+* :func:`solve_branch_and_bound` — our own LP-based branch-and-bound on
+  the index variables (used for cross-checking and when exact solves of
+  small instances must be dependency-free),
+* :func:`solve_lp_rounding` — LP relaxation + greedy rounding, CoPhy's
+  fast approximate mode that trades quality for execution time.
+
+All backends report the *true* objective of the returned configuration
+(via :meth:`BipProblem.config_cost`) so results are directly comparable.
+"""
+
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import optimize, sparse
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one solver run."""
+
+    chosen_positions: tuple
+    objective: float  # true cost of the chosen configuration
+    lower_bound: float = float("nan")
+    status: str = "optimal"
+    solver: str = ""
+    solve_seconds: float = 0.0
+    nodes_explored: int = 0
+    n_variables: int = 0
+    n_constraints: int = 0
+
+    @property
+    def gap(self):
+        """Relative optimality gap vs the proven lower bound."""
+        if not math.isfinite(self.lower_bound) or self.lower_bound <= 0:
+            return float("nan")
+        return (self.objective - self.lower_bound) / self.lower_bound
+
+
+@dataclass
+class _Matrices:
+    """The BIP in matrix form plus the variable layout."""
+
+    c: np.ndarray
+    a_eq: sparse.csr_matrix
+    b_eq: np.ndarray
+    a_ub: sparse.csr_matrix
+    b_ub: np.ndarray
+    n_y: int
+    x_meta: list = field(default_factory=list)  # (var, candidate_pos)
+
+
+def _assemble(problem):
+    n_y = problem.n_candidates
+    c = [0.0] * n_y
+    if problem.index_penalties:
+        for pos in range(n_y):
+            c[pos] = problem.index_penalties[pos]
+    eq_rows, eq_cols, eq_vals, b_eq = [], [], [], []
+    ub_rows, ub_cols, ub_vals, b_ub = [], [], [], []
+    x_meta = []
+    var = n_y
+
+    def new_var(coef):
+        nonlocal var
+        c.append(coef)
+        var += 1
+        return var - 1
+
+    for q in problem.queries:
+        z_vars = []
+        for plan in q.plans:
+            z = new_var(q.weight * plan.internal_cost)
+            z_vars.append(z)
+            for slot in plan.slots:
+                row = len(b_eq)
+                # sum_o x - z = 0
+                eq_rows.append(row), eq_cols.append(z), eq_vals.append(-1.0)
+                for pos, cost in slot.options:
+                    x = new_var(q.weight * cost)
+                    eq_rows.append(row), eq_cols.append(x), eq_vals.append(1.0)
+                    if pos != -1:
+                        x_meta.append((x, pos))
+                        # x - y_pos <= 0
+                        ub_row = len(b_ub)
+                        ub_rows.append(ub_row), ub_cols.append(x), ub_vals.append(1.0)
+                        ub_rows.append(ub_row), ub_cols.append(pos), ub_vals.append(-1.0)
+                        b_ub.append(0.0)
+                b_eq.append(0.0)
+        row = len(b_eq)
+        for z in z_vars:
+            eq_rows.append(row), eq_cols.append(z), eq_vals.append(1.0)
+        b_eq.append(1.0)
+
+    # storage budget
+    ub_row = len(b_ub)
+    for pos in range(n_y):
+        ub_rows.append(ub_row), ub_cols.append(pos), ub_vals.append(problem.sizes[pos])
+    b_ub.append(problem.budget_pages)
+
+    # optional cardinality cap on the chosen indexes
+    if problem.max_indexes is not None:
+        ub_row = len(b_ub)
+        for pos in range(n_y):
+            ub_rows.append(ub_row), ub_cols.append(pos), ub_vals.append(1.0)
+        b_ub.append(float(problem.max_indexes))
+
+    n = var
+    a_eq = sparse.csr_matrix(
+        (eq_vals, (eq_rows, eq_cols)), shape=(len(b_eq), n)
+    )
+    a_ub = sparse.csr_matrix(
+        (ub_vals, (ub_rows, ub_cols)), shape=(len(b_ub), n)
+    )
+    return _Matrices(
+        c=np.array(c),
+        a_eq=a_eq,
+        b_eq=np.array(b_eq),
+        a_ub=a_ub,
+        b_ub=np.array(b_ub),
+        n_y=n_y,
+        x_meta=x_meta,
+    )
+
+
+def _chosen_from_y(y_values, threshold=0.5):
+    return tuple(pos for pos, v in enumerate(y_values) if v > threshold)
+
+
+def solve_bip(problem, time_limit=60.0):
+    """Exact solve with HiGHS (scipy.optimize.milp)."""
+    started = time.perf_counter()
+    mats = _assemble(problem)
+    n = len(mats.c)
+    constraints = [
+        optimize.LinearConstraint(mats.a_eq, mats.b_eq, mats.b_eq),
+        optimize.LinearConstraint(mats.a_ub, -np.inf, mats.b_ub),
+    ]
+    res = optimize.milp(
+        c=mats.c,
+        constraints=constraints,
+        integrality=np.ones(n),
+        bounds=optimize.Bounds(0.0, 1.0),
+        options={"time_limit": time_limit},
+    )
+    if res.x is None:
+        raise RuntimeError("MILP solver failed: %s" % (res.message,))
+    chosen = _chosen_from_y(res.x[: mats.n_y])
+    objective = problem.config_cost(chosen)
+    return SolveResult(
+        chosen_positions=chosen,
+        objective=objective,
+        lower_bound=float(res.fun) + problem.write_base_cost,
+        status="optimal" if res.success else str(res.status),
+        solver="milp-highs",
+        solve_seconds=time.perf_counter() - started,
+        n_variables=n,
+        n_constraints=mats.a_eq.shape[0] + mats.a_ub.shape[0],
+    )
+
+
+def _lp_relax(mats, fixed_zero=(), fixed_one=()):
+    n = len(mats.c)
+    lower = np.zeros(n)
+    upper = np.ones(n)
+    for pos in fixed_zero:
+        upper[pos] = 0.0
+    for pos in fixed_one:
+        lower[pos] = 1.0
+    res = optimize.linprog(
+        c=mats.c,
+        A_eq=mats.a_eq,
+        b_eq=mats.b_eq,
+        A_ub=mats.a_ub,
+        b_ub=mats.b_ub,
+        bounds=np.column_stack([lower, upper]),
+        method="highs",
+    )
+    return res
+
+
+def solve_lp_rounding(problem):
+    """LP relaxation + greedy rounding of the index variables."""
+    started = time.perf_counter()
+    mats = _assemble(problem)
+    res = _lp_relax(mats)
+    if res.x is None:
+        raise RuntimeError("LP relaxation failed: %s" % (res.message,))
+    y = res.x[: mats.n_y]
+    order = sorted(range(mats.n_y), key=lambda p: -y[p])
+    chosen, used = [], 0.0
+    for pos in order:
+        if y[pos] <= 1e-6:
+            break
+        if problem.max_indexes is not None and len(chosen) >= problem.max_indexes:
+            break
+        if used + problem.sizes[pos] <= problem.budget_pages:
+            chosen.append(pos)
+            used += problem.sizes[pos]
+    objective = problem.config_cost(chosen)
+    return SolveResult(
+        chosen_positions=tuple(chosen),
+        objective=objective,
+        lower_bound=float(res.fun) + problem.write_base_cost,
+        status="rounded",
+        solver="lp-rounding",
+        solve_seconds=time.perf_counter() - started,
+        n_variables=len(mats.c),
+        n_constraints=mats.a_eq.shape[0] + mats.a_ub.shape[0],
+    )
+
+
+def solve_branch_and_bound(problem, max_nodes=400):
+    """Our own branch-and-bound on the y variables, LP-bounded.
+
+    Exists to cross-check the HiGHS backend and to demonstrate the BIP is
+    solvable without any external MILP machinery.
+    """
+    started = time.perf_counter()
+    mats = _assemble(problem)
+
+    best_obj = math.inf
+    best_chosen = ()
+    nodes = 0
+    root_bound = math.nan
+
+    stack = [((), ())]  # (fixed_zero, fixed_one)
+    while stack and nodes < max_nodes:
+        fixed_zero, fixed_one = stack.pop()
+        nodes += 1
+        res = _lp_relax(mats, fixed_zero, fixed_one)
+        if res.x is None:
+            continue  # infeasible branch
+        bound = float(res.fun) + problem.write_base_cost
+        if nodes == 1:
+            root_bound = bound
+        if bound >= best_obj - 1e-9:
+            continue
+        y = res.x[: mats.n_y]
+        frac_pos = None
+        frac_dist = 1.0
+        for pos in range(mats.n_y):
+            if pos in fixed_zero or pos in fixed_one:
+                continue
+            dist = abs(y[pos] - 0.5)
+            if y[pos] > 1e-6 and y[pos] < 1.0 - 1e-6 and dist < frac_dist:
+                frac_pos, frac_dist = pos, dist
+        # Candidate incumbent from this node's (rounded) y.
+        rounded = [pos for pos in range(mats.n_y) if y[pos] > 0.5]
+        count_ok = problem.max_indexes is None or len(rounded) <= problem.max_indexes
+        if count_ok and problem.config_size(rounded) <= problem.budget_pages:
+            obj = problem.config_cost(rounded)
+            if obj < best_obj:
+                best_obj, best_chosen = obj, tuple(rounded)
+        if frac_pos is None:
+            continue  # integral node; incumbent already recorded
+        stack.append((fixed_zero + (frac_pos,), fixed_one))
+        stack.append((fixed_zero, fixed_one + (frac_pos,)))
+
+    if not math.isfinite(best_obj):
+        best_chosen = ()
+        best_obj = problem.config_cost(())
+    return SolveResult(
+        chosen_positions=best_chosen,
+        objective=best_obj,
+        lower_bound=root_bound,
+        status="optimal" if not stack else "node-limit",
+        solver="branch-and-bound",
+        solve_seconds=time.perf_counter() - started,
+        nodes_explored=nodes,
+        n_variables=len(mats.c),
+        n_constraints=mats.a_eq.shape[0] + mats.a_ub.shape[0],
+    )

@@ -1,0 +1,16 @@
+"""Row generation: materialize tables that honor catalog distributions.
+
+Used by the executor-backed tests to check that (a) plans are semantically
+correct — every plan shape returns the same rows — and (b) the synthetic
+statistics track reality closely enough for the cost model to be trusted.
+"""
+
+from repro.data.generator import (
+    Database,
+    TableData,
+    encode_key,
+    generate_database,
+    generate_table,
+)
+
+__all__ = ["Database", "TableData", "encode_key", "generate_database", "generate_table"]

@@ -1,0 +1,186 @@
+"""Seeded row generators matching :class:`~repro.catalog.stats.Distribution`.
+
+The ``correlation`` knob is honored by rank blending: row *i*'s value rank
+is a convex combination of the storage position and an independent uniform
+draw, which yields a Spearman correlation close to the requested value —
+the same quantity ``ANALYZE`` measures and the index cost model consumes.
+"""
+
+import bisect
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.catalog.stats import analyze_values
+from repro.util import DesignError
+
+
+@dataclass
+class TableData:
+    """Materialized rows of one table, column-major."""
+
+    name: str
+    columns: dict  # column name -> list of values
+    row_count: int
+
+    def row(self, i):
+        return {col: values[i] for col, values in self.columns.items()}
+
+    def iter_rows(self):
+        cols = list(self.columns)
+        for i in range(self.row_count):
+            yield {c: self.columns[c][i] for c in cols}
+
+    def analyze_into(self, table):
+        """Replace *table*'s statistics with ones measured from this data."""
+        for col in table.columns:
+            col.stats = analyze_values(
+                self.columns[col.name], avg_width=col.width
+            )
+        return table
+
+
+@dataclass
+class Database:
+    """A set of materialized tables plus ready-to-probe btree indexes."""
+
+    tables: dict = field(default_factory=dict)  # name -> TableData
+    _btrees: dict = field(default_factory=dict)
+
+    def table(self, name):
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise DesignError("no data for table %r" % (name,)) from None
+
+    def btree(self, table_name, key_columns):
+        """A sorted ``(encoded_keys, row_id, raw_keys)`` list for index
+        probes (cached).  NULL key values are indexed — btrees store NULLs
+        — using an encoding that sorts them after every non-NULL value
+        (PostgreSQL's NULLS LAST default)."""
+        key = (table_name, tuple(key_columns))
+        cached = self._btrees.get(key)
+        if cached is None:
+            data = self.table(table_name)
+            entries = []
+            for i in range(data.row_count):
+                raw = tuple(data.columns[c][i] for c in key_columns)
+                entries.append((encode_key(raw), i, raw))
+            entries.sort(key=lambda e: e[0])
+            cached = entries
+            self._btrees[key] = cached
+        return cached
+
+    def probe_equal(self, table_name, key_columns, values):
+        """Row ids whose key prefix equals *values* (NULLs never match)."""
+        if any(v is None for v in values):
+            return []
+        tree = self.btree(table_name, key_columns)
+        prefix = encode_key(tuple(values))
+        k = len(prefix)
+        lo = bisect.bisect_left(tree, (prefix,))
+        out = []
+        for enc, rid, __ in tree[lo:]:
+            if enc[:k] != prefix:
+                break
+            out.append(rid)
+        return out
+
+
+def encode_key(values):
+    """Encode a key tuple so mixed None/values compare totally:
+    non-NULL v -> (0, v), NULL -> (1,)."""
+    return tuple((1,) if v is None else (0, v) for v in values)
+
+
+def generate_table(table, seed=0):
+    """Generate rows for *table* from its column distributions."""
+    columns = {}
+    for position, col in enumerate(table.columns):
+        rng = random.Random("%s/%s/%s/%d" % (seed, table.name, col.name, position))
+        columns[col.name] = _generate_column(
+            col.distribution, table.row_count, rng
+        )
+    return TableData(name=table.name, columns=columns, row_count=table.row_count)
+
+
+def generate_database(catalog, seed=0, only_tables=None):
+    db = Database()
+    for table in catalog.tables:
+        if only_tables is not None and table.name not in only_tables:
+            continue
+        db.tables[table.name] = generate_table(table, seed=seed)
+    return db
+
+
+# ----------------------------------------------------------------------
+
+
+def _generate_column(dist, n, rng):
+    if dist is None:
+        return [rng.randint(0, max(1, n // 10)) for __ in range(n)]
+    if dist.kind == "sequence":
+        return list(range(n))
+    raw = _draw_iid(dist, n, rng)
+    values = _apply_correlation(raw, dist.correlation, rng)
+    if dist.null_frac > 0:
+        values = [
+            None if rng.random() < dist.null_frac else v for v in values
+        ]
+    return values
+
+
+def _draw_iid(dist, n, rng):
+    if dist.kind == "uniform":
+        return [rng.uniform(dist.low, dist.high) for __ in range(n)]
+    if dist.kind == "uniform_int":
+        lo, hi = int(dist.low), int(dist.high)
+        return [rng.randint(lo, hi) for __ in range(n)]
+    if dist.kind == "normal":
+        return [rng.gauss(dist.mu, dist.sigma) for __ in range(n)]
+    if dist.kind == "zipf":
+        return [_zipf_draw(dist, rng) for __ in range(n)]
+    if dist.kind == "categorical":
+        return rng.choices(list(dist.values), weights=list(dist.probs), k=n)
+    raise DesignError("cannot generate %r" % (dist.kind,))
+
+
+def _zipf_draw(dist, rng):
+    n_values = max(1, dist.n_values or 1000)
+    # Inverse-CDF sampling over the (small) discrete support.
+    weights = [1.0 / (rank ** dist.s) for rank in range(1, n_values + 1)]
+    total = sum(weights)
+    u = rng.random() * total
+    acc = 0.0
+    for rank, w in enumerate(weights, start=1):
+        acc += w
+        if u <= acc:
+            return rank
+    return n_values
+
+
+def _apply_correlation(values, correlation, rng):
+    """Rearrange iid *values* to target a physical-order correlation."""
+    if abs(correlation) < 1e-9 or len(values) < 2:
+        return values
+    n = len(values)
+    ordered = sorted(values, key=_sort_key)
+    if correlation < 0:
+        ordered.reverse()
+    strength = min(0.999, abs(correlation))
+    # Target a Spearman correlation of `strength`: position has standard
+    # deviation n/sqrt(12); adding rank noise of std sigma yields a
+    # correlation of 1/sqrt(1 + (sigma/sigma_pos)^2), so invert for sigma.
+    sigma_pos = n / math.sqrt(12.0)
+    noise_scale = sigma_pos * math.sqrt(1.0 / (strength * strength) - 1.0)
+    keyed = sorted(
+        range(n), key=lambda i: i + rng.gauss(0.0, noise_scale)
+    )
+    out = [None] * n
+    for target_pos, source_rank in enumerate(keyed):
+        out[target_pos] = ordered[source_rank]
+    return out
+
+
+def _sort_key(v):
+    return (v is None, v)

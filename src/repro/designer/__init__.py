@@ -1,0 +1,19 @@
+"""The integrated, interactive, portable DB designer (the demo itself).
+
+:class:`Designer` wires every component of Figure 1 together around the
+what-if optimizer and exposes the three demonstration scenarios:
+
+* **Scenario 1** (:meth:`Designer.evaluate_design`) — the DBA proposes
+  what-if indexes/partitions; the tool reports per-query and average
+  workload benefit, visualizes index interactions, and shows queries
+  rewritten for the new partitions.
+* **Scenario 2** (:meth:`Designer.recommend`) — automatic index +
+  partition recommendation under a storage constraint, with an
+  interaction-aware materialization schedule.
+* **Scenario 3** (:meth:`Designer.continuous`) — continuous monitoring of
+  an incoming query stream with index-change alerts.
+"""
+
+from repro.designer.facade import Designer, DesignEvaluation, FullRecommendation
+
+__all__ = ["Designer", "DesignEvaluation", "FullRecommendation"]

@@ -1,0 +1,205 @@
+"""Command-line front end: the demo's interface, in terminal form.
+
+    python -m repro describe   [--workload sdss|tpch] [--scale S]
+    python -m repro evaluate   --indexes photoobj:ra,dec specobj:z ...
+    python -m repro recommend  [--budget-frac F] [--solver milp|greedy|...]
+    python -m repro online     [--phase-length N] [--epoch N]
+    python -m repro explain    --sql "SELECT ..."
+
+Each subcommand prints the same panels the demo UI shows (benefit tables,
+interaction graphs, schedules, per-epoch traces).
+"""
+
+import argparse
+import sys
+
+from repro.catalog import Index
+from repro.colt import ColtSettings
+from repro.designer.facade import Designer
+from repro.optimizer import CostService
+from repro.util import ReproError
+from repro.whatif import WhatIfSession
+from repro.workloads import (
+    sdss_catalog,
+    sdss_workload,
+    tpch_catalog,
+    tpch_workload,
+)
+from repro.workloads.drift import default_phases, drifting_stream
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="An automated, yet interactive and portable DB designer",
+    )
+    parser.add_argument(
+        "--workload", choices=("sdss", "tpch"), default="sdss",
+        help="built-in schema + query mix to operate on",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.1, help="dataset scale factor"
+    )
+    parser.add_argument(
+        "--queries", type=int, default=20, help="number of workload queries"
+    )
+    parser.add_argument("--seed", type=int, default=42, help="workload seed")
+
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("describe", help="show the catalog and workload")
+
+    evaluate = sub.add_parser(
+        "evaluate", help="Scenario 1: what-if evaluate a user design"
+    )
+    evaluate.add_argument(
+        "--indexes",
+        nargs="+",
+        required=True,
+        metavar="TABLE:COL[,COL...]",
+        help="candidate indexes, e.g. photoobj:ra,dec",
+    )
+
+    recommend = sub.add_parser(
+        "recommend", help="Scenario 2: automatic design recommendation"
+    )
+    recommend.add_argument(
+        "--budget-frac", type=float, default=0.3,
+        help="storage budget as a fraction of total table pages",
+    )
+    recommend.add_argument(
+        "--solver",
+        choices=("milp", "greedy", "lp-rounding", "bnb"),
+        default="milp",
+    )
+    recommend.add_argument(
+        "--no-partitions", action="store_true", help="indexes only"
+    )
+
+    online = sub.add_parser(
+        "online", help="Scenario 3: continuous tuning of a drifting stream"
+    )
+    online.add_argument("--phase-length", type=int, default=75)
+    online.add_argument("--epoch", type=int, default=25)
+    online.add_argument(
+        "--no-adopt", action="store_true",
+        help="alert only; leave adoption to the DBA",
+    )
+
+    explain = sub.add_parser("explain", help="EXPLAIN one SQL statement")
+    explain.add_argument("--sql", required=True)
+
+    drops = sub.add_parser(
+        "drops", help="flag existing indexes no workload plan uses"
+    )
+    drops.add_argument(
+        "--indexes",
+        nargs="*",
+        default=(),
+        metavar="TABLE:COL[,COL...]",
+        help="pre-create these indexes before judging usage",
+    )
+    return parser
+
+
+def parse_index_spec(spec):
+    """``table:col1,col2`` -> Index; raises ReproError on malformed input."""
+    table, sep, columns = spec.partition(":")
+    if not sep or not columns.strip() or not table.strip():
+        raise ReproError(
+            "bad index spec %r (expected table:col1,col2)" % (spec,)
+        )
+    cols = tuple(c.strip() for c in columns.split(",") if c.strip())
+    if not cols:
+        raise ReproError("no columns in index spec %r" % (spec,))
+    return Index(table.strip(), cols)
+
+
+def load_environment(args):
+    if args.workload == "sdss":
+        catalog = sdss_catalog(scale=args.scale)
+        workload = sdss_workload(n_queries=args.queries, seed=args.seed)
+    else:
+        catalog = tpch_catalog(scale=args.scale)
+        workload = tpch_workload(n_queries=args.queries, seed=args.seed)
+    return catalog, workload
+
+
+def main(argv=None, out=sys.stdout):
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args, out)
+    except ReproError as exc:
+        print("error: %s" % exc, file=out)
+        return 2
+
+
+def _dispatch(args, out):
+    catalog, workload = load_environment(args)
+
+    if args.command == "describe":
+        print(catalog.describe(), file=out)
+        print("", file=out)
+        print(workload.describe(), file=out)
+        return 0
+
+    if args.command == "evaluate":
+        designer = Designer(catalog)
+        indexes = [parse_index_spec(s) for s in args.indexes]
+        evaluation = designer.evaluate_design(workload, indexes=indexes)
+        print(evaluation.to_text(), file=out)
+        return 0
+
+    if args.command == "recommend":
+        designer = Designer(catalog)
+        budget = int(sum(t.pages for t in catalog.tables) * args.budget_frac)
+        result = designer.recommend(
+            workload,
+            storage_budget_pages=budget,
+            solver=args.solver,
+            partitions=not args.no_partitions,
+        )
+        print("storage budget: %d pages" % budget, file=out)
+        print(result.to_text(), file=out)
+        return 0
+
+    if args.command == "online":
+        designer = Designer(catalog)
+        settings = ColtSettings(
+            epoch_length=args.epoch,
+            space_budget_pages=int(sum(t.pages for t in catalog.tables) * 0.5),
+            auto_adopt=not args.no_adopt,
+        )
+        stream = drifting_stream(default_phases(args.phase_length), seed=args.seed)
+        report = designer.continuous(stream, settings)
+        print(report.to_text(), file=out)
+        untuned = _untuned_cost(catalog, args)
+        saved = 100.0 * (untuned - report.total_cost) / untuned
+        print("untuned: %.1f  -> %.1f%% saved" % (untuned, saved), file=out)
+        return 0
+
+    if args.command == "explain":
+        service = CostService(catalog)
+        print(service.explain(args.sql), file=out)
+        return 0
+
+    if args.command == "drops":
+        working = catalog.clone()
+        for spec in args.indexes:
+            working.add_index(parse_index_spec(spec))
+        designer = Designer(working)
+        drops = designer.suggest_drops(workload)
+        if not drops:
+            print("every existing index is used by some plan", file=out)
+        for index, pages in drops:
+            print("DROP INDEX %s  -- reclaims %d pages" % (index.name, pages),
+                  file=out)
+        return 0
+
+    raise ReproError("unknown command %r" % (args.command,))
+
+
+def _untuned_cost(catalog, args):
+    session = WhatIfSession(catalog)
+    stream = drifting_stream(default_phases(args.phase_length), seed=args.seed)
+    return sum(session.cost(sql) for __, sql in stream)

@@ -1,0 +1,10 @@
+"""Iterator-style executor: runs optimizer plans against generated data.
+
+This is the validation substrate: tests execute the *same* query under
+different physical designs (hence different plan shapes) and assert the
+result rows are identical, and compare estimated vs actual cardinalities.
+"""
+
+from repro.executor.engine import execute_plan, run_query
+
+__all__ = ["execute_plan", "run_query"]

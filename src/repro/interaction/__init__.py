@@ -1,0 +1,33 @@
+"""Index interactions (paper §3.5, reference [12]).
+
+Two tools, as in the demo:
+
+* :class:`InteractionAnalyzer` quantifies the *degree of interaction*
+  ``doi(a, b)`` between index pairs and renders the Figure-2 interaction
+  graph (vertices = indexes, weighted edges = doi, top-k edge filter);
+* the scheduling functions order index materialization so that workload
+  benefit accumulates as early as possible, exploiting (rather than
+  ignoring) the interactions.
+"""
+
+from repro.interaction.doi import InteractionAnalyzer, InteractionGraph
+from repro.interaction.ibg import IbgNode, IndexBenefitGraph
+from repro.interaction.schedule import (
+    Schedule,
+    evaluate_schedule,
+    schedule_greedy,
+    schedule_naive,
+    schedule_optimal,
+)
+
+__all__ = [
+    "InteractionAnalyzer",
+    "InteractionGraph",
+    "IndexBenefitGraph",
+    "IbgNode",
+    "Schedule",
+    "evaluate_schedule",
+    "schedule_greedy",
+    "schedule_naive",
+    "schedule_optimal",
+]

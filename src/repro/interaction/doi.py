@@ -1,0 +1,190 @@
+"""Degree of interaction between indexes (Schnaitter et al., PVLDB 2009).
+
+Two indexes *a*, *b* interact when the benefit of *a* depends on whether
+*b* is present.  Following the reference paper::
+
+    benefit(a | X)  =  cost(X) - cost(X ∪ {a})
+    doi(a, b)       =  max over X ⊆ S \\ {a,b} of
+                       |benefit(a | X) - benefit(a | X ∪ {b})| / cost(X ∪ {a,b})
+
+where S is the candidate set under analysis and cost() is the workload
+cost.  The subset maximization is exponential, so we enumerate exactly up
+to ``exact_limit`` context indexes and fall back to seeded random subset
+sampling beyond that.  Costs come from INUM, so each subset evaluation is
+analytic — this is precisely why the demo can visualize interactions
+interactively.
+"""
+
+import itertools
+import random
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.whatif import Configuration
+
+
+class InteractionAnalyzer:
+    """Computes doi values and interaction graphs over one workload.
+
+    ``method`` selects how the subset maximization in doi is performed:
+
+    * ``"subsets"`` — enumerate/sample the context lattice directly,
+    * ``"ibg"`` — build the Index Benefit Graph once per candidate set and
+      maximize over its (far fewer) node contexts, the reference paper's
+      own approach.
+    """
+
+    def __init__(self, inum_model, workload, exact_limit=8, samples=40, seed=17,
+                 method="subsets"):
+        if method not in ("subsets", "ibg"):
+            raise ValueError("method must be 'subsets' or 'ibg', got %r" % (method,))
+        self.inum = inum_model
+        self.workload = list(workload)
+        self.exact_limit = exact_limit
+        self.samples = samples
+        self.seed = seed
+        self.method = method
+        self._cost_cache = {}
+        self._ibg_cache = {}
+
+    # ------------------------------------------------------------------
+
+    def cost(self, index_set):
+        """Workload cost under exactly *index_set* (cached)."""
+        key = frozenset(index_set)
+        cached = self._cost_cache.get(key)
+        if cached is None:
+            cached = self.inum.workload_cost(
+                self.workload, Configuration(indexes=key)
+            )
+            self._cost_cache[key] = cached
+        return cached
+
+    def benefit(self, index, context):
+        """benefit(index | context) = cost(context) - cost(context + index)."""
+        context = frozenset(context) - {index}
+        return self.cost(context) - self.cost(context | {index})
+
+    def ibg(self, candidate_set):
+        """The Index Benefit Graph for *candidate_set* (built once)."""
+        from repro.interaction.ibg import IndexBenefitGraph
+        from repro.whatif import Configuration
+
+        key = frozenset(candidate_set)
+        graph = self._ibg_cache.get(key)
+        if graph is None:
+            def oracle(subset):
+                return self.inum.workload_cost_with_usage(
+                    self.workload, Configuration(indexes=frozenset(subset))
+                )
+
+            graph = IndexBenefitGraph.build(oracle, key)
+            self._ibg_cache[key] = graph
+        return graph
+
+    def doi(self, a, b, candidate_set):
+        """Degree of interaction between *a* and *b* within *candidate_set*."""
+        if a == b:
+            return 0.0
+        if self.method == "ibg":
+            return self.ibg(candidate_set).doi(a, b)
+        others = sorted(
+            (ix for ix in candidate_set if ix not in (a, b)), key=lambda i: i.name
+        )
+        best = 0.0
+        for context in self._contexts(others):
+            with_b = frozenset(context) | {b}
+            denom = self.cost(with_b | {a})
+            if denom <= 0:
+                continue
+            delta = abs(self.benefit(a, context) - self.benefit(a, with_b))
+            best = max(best, delta / denom)
+        return best
+
+    def _contexts(self, others):
+        if len(others) <= self.exact_limit:
+            for r in range(len(others) + 1):
+                yield from itertools.combinations(others, r)
+            return
+        rng = random.Random(self.seed)
+        yield ()
+        yield tuple(others)
+        for __ in range(self.samples):
+            r = rng.randint(0, len(others))
+            yield tuple(rng.sample(others, r))
+
+    # ------------------------------------------------------------------
+
+    def interaction_graph(self, candidate_set, min_doi=1e-9):
+        """The Figure-2 graph: one vertex per index, edges weighted by doi."""
+        candidate_set = sorted(set(candidate_set), key=lambda i: i.name)
+        graph = nx.Graph()
+        for ix in candidate_set:
+            graph.add_node(ix.name, index=ix, benefit=self.benefit(ix, ()))
+        for a, b in itertools.combinations(candidate_set, 2):
+            weight = self.doi(a, b, candidate_set)
+            if weight > min_doi:
+                graph.add_edge(a.name, b.name, doi=weight)
+        return InteractionGraph(graph)
+
+    def stable_partition(self, candidate_set, threshold=0.01):
+        """Partition indexes into groups with no cross-group interaction
+        above *threshold* (Schnaitter's stable partitions): the connected
+        components of the thresholded interaction graph."""
+        graph = self.interaction_graph(candidate_set, min_doi=threshold).graph
+        name_to_index = {ix.name: ix for ix in candidate_set}
+        return [
+            sorted((name_to_index[n] for n in component), key=lambda i: i.name)
+            for component in nx.connected_components(graph)
+        ]
+
+
+@dataclass
+class InteractionGraph:
+    """Presentation wrapper around the networkx interaction graph."""
+
+    graph: nx.Graph
+    _edge_cache: list = field(default=None, repr=False)
+
+    def edges_by_weight(self):
+        if self._edge_cache is None:
+            self._edge_cache = sorted(
+                self.graph.edges(data="doi"), key=lambda e: -e[2]
+            )
+        return self._edge_cache
+
+    def top_edges(self, k):
+        """The demo's dynamic filter: show only the k strongest interactions."""
+        return self.edges_by_weight()[:k]
+
+    def to_text(self, max_edges=15):
+        lines = ["Index interaction graph (%d indexes):" % self.graph.number_of_nodes()]
+        for name in sorted(self.graph.nodes):
+            lines.append(
+                "  [%s] standalone benefit %.1f"
+                % (name, self.graph.nodes[name]["benefit"])
+            )
+        edges = self.top_edges(max_edges)
+        if not edges:
+            lines.append("  (no interactions above threshold)")
+        for a, b, w in edges:
+            lines.append("  %s -- %s  doi=%.4f" % (a, b, w))
+        return "\n".join(lines)
+
+    def to_dot(self, max_edges=None):
+        """Graphviz DOT rendering (what the demo UI draws)."""
+        edges = self.edges_by_weight()
+        if max_edges is not None:
+            edges = edges[:max_edges]
+        lines = ["graph interactions {"]
+        for name in sorted(self.graph.nodes):
+            lines.append('  "%s";' % name)
+        max_w = max((w for __, __, w in edges), default=1.0) or 1.0
+        for a, b, w in edges:
+            lines.append(
+                '  "%s" -- "%s" [label="%.3f", penwidth=%.2f];'
+                % (a, b, w, 1.0 + 4.0 * w / max_w)
+            )
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,521 @@
+"""The INUM plan cache and configuration cost evaluator.
+
+Build phase (once per query): enumerate interesting-order vectors —
+one entry per table: unordered, or ordered by one join/grouping/ordering
+column.  For each vector, plan the query against a catalog holding a
+hypothetical covering index per ordered table, and split the resulting
+cost into ``internal`` (joins, sorts, aggregation) plus per-table *access
+slots*.
+
+Evaluate phase (per configuration): for every cached plan, re-price each
+slot with the cheapest matching access path available under the
+configuration (sequential scan, a configuration index, or scan+sort to
+restore a required order) and return the minimum over cached plans.
+Evaluation issues **zero** optimizer calls.
+"""
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from repro.catalog import Index
+from repro.optimizer import joins as J
+from repro.optimizer import paths as P
+from repro.optimizer.planner import plan_query
+from repro.optimizer.settings import DEFAULT_SETTINGS, DISABLE_COST
+from repro.optimizer.writecost import (
+    heap_write_cost,
+    locate_query,
+    maintenance_cost,
+)
+from repro.sql.binder import BoundQuery, BoundWrite, bind_statement
+from repro.whatif import Configuration
+
+MAX_ORDERS_PER_TABLE = 4
+MAX_VECTORS_PER_QUERY = 32
+_TMP_PREFIX = "inum_tmp_"
+
+
+@dataclass(frozen=True)
+class AccessSlot:
+    """One base-table access in a cached plan skeleton."""
+
+    alias: str
+    table_name: str
+    required_order: str = None  # column the skeleton expects order on
+    param_columns: tuple = ()  # non-empty => index-probe slot
+    probes: float = 1.0  # times the access runs (NL inner)
+    scale: float = 1.0  # fraction consumed (LIMIT early termination)
+
+
+@dataclass(frozen=True)
+class CachedPlan:
+    """Internal (access-independent) cost plus access slots."""
+
+    internal_cost: float
+    slots: tuple
+    order_vector: tuple  # ((alias, column-or-None), ...) for debugging
+
+
+@dataclass
+class QueryCache:
+    """All cached plans for one query."""
+
+    bound_query: BoundQuery
+    plans: list = field(default_factory=list)
+    build_optimizer_calls: int = 0
+
+
+class InumCostModel:
+    """Workload-level INUM: lazy per-query caches over one base catalog."""
+
+    def __init__(self, catalog, settings=None):
+        self.catalog = catalog
+        self.settings = settings or DEFAULT_SETTINGS
+        self._caches = {}
+        self._bound_cache = {}
+        self._slot_costs = {}  # (sql, slot, per-table design sig) -> cost
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def precompute_calls(self):
+        return sum(c.build_optimizer_calls for c in self._caches.values())
+
+    def bound(self, query):
+        if isinstance(query, (BoundQuery, BoundWrite)):
+            return query
+        cached = self._bound_cache.get(query)
+        if cached is None:
+            cached = bind_statement(query, self.catalog)
+            self._bound_cache[query] = cached
+        return cached
+
+    def cache_for(self, query):
+        key = query if isinstance(query, str) else query.sql
+        cache = self._caches.get(key)
+        if cache is None:
+            bq = self.bound(query)
+            cache = _build_cache(bq, self.catalog, self.settings)
+            self._caches[key] = cache
+            self._caches[bq.sql] = cache
+        return cache
+
+    # ------------------------------------------------------------------
+
+    def cost(self, query, config=None):
+        """INUM cost of *query* under *config* (no optimizer calls)."""
+        config = config or Configuration.empty()
+        view = _DesignView(self.catalog, config)
+        bq = self.bound(query)
+        self.evaluations += 1
+        if isinstance(bq, BoundWrite):
+            return self._write_cost(bq, view, config)
+        return self._evaluate(self.cache_for(bq), view)
+
+    def workload_cost(self, workload, config=None):
+        config = config or Configuration.empty()
+        view = _DesignView(self.catalog, config)
+        total = 0.0
+        for query, weight in _pairs(workload):
+            bq = self.bound(query)
+            self.evaluations += 1
+            if isinstance(bq, BoundWrite):
+                total += weight * self._write_cost(bq, view, config)
+            else:
+                total += weight * self._evaluate(self.cache_for(bq), view)
+        return total
+
+    def _write_cost(self, bound_write, view, config):
+        """Write statements: analytic maintenance + INUM-priced locate."""
+        total = heap_write_cost(bound_write, self.settings)
+        total += maintenance_cost(
+            bound_write,
+            view.indexes_on(bound_write.table.name),
+            self.settings,
+        )
+        if bound_write.kind in ("update", "delete"):
+            locate = locate_query(bound_write)
+            total += self._evaluate(self.cache_for(locate), view)
+        return total
+
+    def _evaluate(self, cache, view):
+        bq = cache.bound_query
+        best = math.inf
+        for cached in cache.plans:
+            total = cached.internal_cost
+            feasible = True
+            for slot in cached.slots:
+                key = (bq.sql, slot, view.design_signature(slot.table_name))
+                if key not in self._slot_costs:
+                    self._slot_costs[key] = _access_cost(
+                        slot, bq, view, self.settings
+                    )
+                cost = self._slot_costs[key]
+                if cost is None:
+                    feasible = False
+                    break
+                total += cost
+            if feasible:
+                best = min(best, total)
+        if not math.isfinite(best):
+            raise RuntimeError("INUM cache produced no feasible plan")
+        return best
+
+    # ------------------------------------------------------------------
+    # Usage-aware evaluation (feeds the Index Benefit Graph).
+    # ------------------------------------------------------------------
+
+    def cost_with_usage(self, query, config=None):
+        """Like :meth:`cost` but also returns the set of configuration
+        indexes the winning cached plan's access slots would use.
+
+        For writes, "used" means maintained: the configuration indexes
+        whose presence changes the statement's cost.
+        """
+        config = config or Configuration.empty()
+        view = _DesignView(self.catalog, config)
+        maybe_write = self.bound(query)
+        if isinstance(maybe_write, BoundWrite):
+            cost = self._write_cost(maybe_write, view, config)
+            self.evaluations += 1
+            used = frozenset(
+                ix for ix in config.indexes if maybe_write.touches_index(ix)
+            )
+            if maybe_write.kind in ("update", "delete"):
+                __, locate_used = self.cost_with_usage(
+                    locate_query(maybe_write), config
+                )
+                used |= locate_used
+            return cost, used
+        cache = self.cache_for(maybe_write)
+        bq = cache.bound_query
+        best = math.inf
+        best_used = frozenset()
+        for cached in cache.plans:
+            total = cached.internal_cost
+            used = set()
+            feasible = True
+            for slot in cached.slots:
+                choice = _access_cost(slot, bq, view, self.settings, want_choice=True)
+                if choice is None:
+                    feasible = False
+                    break
+                cost, winners = choice
+                total += cost
+                for index in winners:
+                    if index in config.indexes:
+                        used.add(index)
+            if feasible and total < best:
+                best = total
+                best_used = frozenset(used)
+        if not math.isfinite(best):
+            raise RuntimeError("INUM cache produced no feasible plan")
+        self.evaluations += 1
+        return best, best_used
+
+    def workload_cost_with_usage(self, workload, config=None):
+        """Workload cost plus the union of used configuration indexes."""
+        config = config or Configuration.empty()
+        total = 0.0
+        used = set()
+        for query, weight in _pairs(workload):
+            cost, q_used = self.cost_with_usage(query, config)
+            total += weight * cost
+            used |= q_used
+        return total, frozenset(used)
+
+    def warm(self, workload):
+        """Precompute caches for every workload statement; returns the
+        number of optimizer calls spent (INUM's one-off investment).
+        Write statements warm the cache of their locate query."""
+        before = self.precompute_calls
+        for query, __ in _pairs(workload):
+            bq = self.bound(query)
+            if isinstance(bq, BoundWrite):
+                if bq.kind in ("update", "delete"):
+                    self.cache_for(locate_query(bq))
+            else:
+                self.cache_for(bq)
+        return self.precompute_calls - before
+
+
+# ----------------------------------------------------------------------
+# Cache construction.
+# ----------------------------------------------------------------------
+
+
+def _interesting_orders(bq, alias):
+    """Candidate order columns for one table reference."""
+    orders = []
+    for clause in bq.joins_for(alias):
+        col, __, __ = clause.side_for(alias)
+        if col not in orders:
+            orders.append(col)
+    for a, c in bq.group_by:
+        if a == alias and c not in orders:
+            orders.append(c)
+            break
+    for a, c, __ in bq.order_by:
+        if a == alias and c not in orders:
+            orders.append(c)
+            break
+    return [None] + orders[: MAX_ORDERS_PER_TABLE - 1]
+
+
+def _order_vectors(bq):
+    per_alias = [
+        [(alias, order) for order in _interesting_orders(bq, alias)]
+        for alias in bq.aliases
+    ]
+    vectors = list(itertools.product(*per_alias))
+    # Prefer vectors with fewer ordered tables (they generalize best),
+    # then truncate to the cap.
+    vectors.sort(key=lambda v: sum(1 for __, o in v if o is not None))
+    return vectors[:MAX_VECTORS_PER_QUERY]
+
+
+def _build_cache(bq, catalog, settings):
+    cache = QueryCache(bound_query=bq)
+    seen = set()
+    for vector in _order_vectors(bq):
+        overlay = catalog.clone()
+        for alias, order in vector:
+            if order is None:
+                continue
+            table = bq.table_for(alias)
+            include = tuple(
+                sorted(bq.referenced_columns(alias) - {order})
+            )
+            overlay.add_index(
+                Index(
+                    table.name,
+                    (order,),
+                    include=include,
+                    name="%s%s_%s" % (_TMP_PREFIX, alias, order),
+                )
+            )
+        plan = plan_query(bq, overlay, settings)
+        cache.build_optimizer_calls += 1
+        cached = _extract(plan, bq, dict(vector))
+        key = (round(cached.internal_cost, 6), cached.slots)
+        if key not in seen:
+            seen.add(key)
+            cache.plans.append(cached)
+    return cache
+
+
+def _extract(plan, bq, order_by_alias):
+    """Split a plan into internal cost + access slots."""
+    contributions = {}  # alias -> (cost_contribution, slot)
+    _walk_scans(plan, 1.0, 1.0, contributions, bq, order_by_alias)
+    internal = plan.total_cost - sum(c for c, __ in contributions.values())
+    internal = max(0.0, internal)
+    slots = tuple(sorted((s for __, s in contributions.values()),
+                         key=lambda s: s.alias))
+    vector = tuple(sorted(order_by_alias.items()))
+    return CachedPlan(internal_cost=internal, slots=slots, order_vector=vector)
+
+
+_SCAN_TYPES = ("SeqScan", "IndexScan", "IndexOnlyScan", "BitmapHeapScan",
+               "BitmapAndScan", "FragmentScan", "AppendScan")
+_BLOCKING_TYPES = ("Sort", "Aggregate", "Materialize")
+
+
+def _charged(node, scale):
+    """Cost the skeleton actually paid for a scan under LIMIT scaling."""
+    return node.startup_cost + scale * (node.total_cost - node.startup_cost)
+
+
+def _walk_scans(node, factor, scale, contributions, bq, order_by_alias):
+    """Collect scan contributions.
+
+    ``factor`` multiplies per-probe costs of parameterized inner scans;
+    ``scale`` is the consumed fraction induced by a pipelined LIMIT above
+    (blocking operators reset it to 1 for their inputs).
+    """
+    if node.node_type in _SCAN_TYPES:
+        alias = node.alias
+        table = bq.table_for(alias)
+        if node.is_parameterized:
+            slot = AccessSlot(
+                alias=alias,
+                table_name=table.name,
+                required_order=None,
+                param_columns=tuple(getattr(node, "param_columns", ())),
+                probes=factor,
+                scale=scale,
+            )
+            contributions[alias] = (_charged(node, scale) * factor, slot)
+        else:
+            slot = AccessSlot(
+                alias=alias,
+                table_name=table.name,
+                required_order=order_by_alias.get(alias),
+                probes=1.0,
+                scale=scale,
+            )
+            contributions[alias] = (_charged(node, scale), slot)
+        return
+    if node.node_type == "Limit":
+        child = node.children[0]
+        run = child.total_cost - child.startup_cost
+        fraction = 1.0
+        if run > 0:
+            fraction = (node.total_cost - node.startup_cost) / run
+        scale *= min(1.0, max(0.0, fraction))
+        _walk_scans(child, factor, scale, contributions, bq, order_by_alias)
+        return
+    if node.node_type in _BLOCKING_TYPES:
+        for child in node.children:
+            _walk_scans(child, factor, 1.0, contributions, bq, order_by_alias)
+        return
+    if node.node_type == "HashJoin" and len(node.children) == 2:
+        outer, inner = node.children
+        _walk_scans(outer, factor, scale, contributions, bq, order_by_alias)
+        # The build side is consumed in full regardless of LIMIT.
+        _walk_scans(inner, factor, 1.0, contributions, bq, order_by_alias)
+        return
+    if node.node_type == "NestLoop" and len(node.children) == 2:
+        outer, inner = node.children
+        _walk_scans(outer, factor, scale, contributions, bq, order_by_alias)
+        inner_factor = factor * max(1.0, outer.rows) if _is_param_subtree(inner) else factor
+        _walk_scans(inner, inner_factor, scale, contributions, bq, order_by_alias)
+        return
+    for child in node.children:
+        _walk_scans(child, factor, scale, contributions, bq, order_by_alias)
+
+
+def _is_param_subtree(node):
+    return any(n.is_parameterized for n in node.walk())
+
+
+# ----------------------------------------------------------------------
+# Configuration evaluation.
+# ----------------------------------------------------------------------
+
+
+class _DesignView:
+    """A catalog facade overlaying a Configuration without cloning.
+
+    Exposes exactly the surface the path generator touches, and a cheap
+    per-table design signature used to memoize slot access costs.
+    """
+
+    def __init__(self, base, config):
+        self._base = base
+        self._config = config
+        self._by_table = {}
+        for ix in config.indexes:
+            self._by_table.setdefault(ix.table_name, []).append(ix)
+        self._layouts = {l.table_name: l for l in config.layouts}
+        self._horizontals = {h.table_name: h for h in config.horizontals}
+
+    def table(self, name):
+        return self._base.table(name)
+
+    def indexes_on(self, table_name):
+        merged = list(self._base.indexes_on(table_name))
+        seen = set(merged)
+        for ix in self._by_table.get(table_name, ()):
+            if ix not in seen:
+                merged.append(ix)
+        return merged
+
+    def vertical_layout(self, table_name):
+        return self._layouts.get(table_name) or self._base.vertical_layout(table_name)
+
+    def horizontal_partitioning(self, table_name):
+        return self._horizontals.get(table_name) or self._base.horizontal_partitioning(
+            table_name
+        )
+
+    def design_signature(self, table_name):
+        return (
+            frozenset(self._by_table.get(table_name, ())),
+            self._layouts.get(table_name),
+            self._horizontals.get(table_name),
+        )
+
+
+def _access_cost(slot, bq, catalog, settings, want_choice=False):
+    """Cheapest access path satisfying *slot* under *catalog*; None if the
+    slot cannot be satisfied (e.g. probe slot with no usable index).
+
+    With ``want_choice`` the return value is ``(cost, winner_indexes)``
+    where the tuple lists the indexes backing the winning path (empty for
+    sequential scans, two entries for a BitmapAnd).
+    """
+
+    def consumed(path):
+        # A pipelined LIMIT above the skeleton only consumes slot.scale of
+        # the run cost; the startup (btree descent) is always paid.
+        return path.startup_cost + slot.scale * (
+            path.total_cost - path.startup_cost
+        )
+
+    def answer(cost, path):
+        return (cost, _path_indexes(path)) if want_choice else cost
+
+    if slot.param_columns:
+        candidates = P.parameterized_paths(
+            bq, slot.alias, catalog, settings, slot.param_columns
+        )
+        usable = [
+            p for p in candidates
+            if set(slot.param_columns) <= set(p.param_columns)
+        ] or candidates
+        if not usable:
+            return None
+        winner = min(usable, key=consumed)
+        return answer(consumed(winner) * slot.probes, winner)
+
+    interesting = {slot.required_order} if slot.required_order else set()
+    paths = [
+        p for p in P.scan_paths(bq, slot.alias, catalog, settings, interesting)
+        if p.total_cost < DISABLE_COST / 2
+    ]
+    if not paths:
+        return None
+    if slot.required_order is None:
+        winner = min(paths, key=consumed)
+        return answer(consumed(winner), winner)
+    # Btrees read backward at equal cost, so either direction on the
+    # required column satisfies an order-expecting skeleton slot.
+    keys = ((slot.alias, slot.required_order, True),)
+    satisfying = [
+        p for p in paths
+        if p.ordering and p.ordering[0][:2] == (slot.alias, slot.required_order)
+    ]
+    winner = min(satisfying, key=consumed, default=None)
+    best = consumed(winner) if winner is not None else math.inf
+    if slot.scale < 1.0:
+        # Under a pipelined LIMIT a sort would be blocking, so an explicit
+        # sort cannot substitute for a missing ordered path here.
+        if winner is None:
+            return None
+        return answer(best, winner)
+    cheapest = min(paths, key=lambda p: p.total_cost)
+    sorted_cost = J.sort_path(cheapest, keys, settings).total_cost
+    if sorted_cost < best:
+        return answer(sorted_cost, cheapest)
+    return answer(best, winner)
+
+
+def _path_indexes(path):
+    """Indexes backing a path (tuple; empty for plain scans)."""
+    if path is None:
+        return ()
+    single = getattr(path, "index", None)
+    if single is not None:
+        return (single,)
+    return tuple(getattr(path, "indexes", ()) or ())
+
+
+def _pairs(workload):
+    for entry in workload:
+        if isinstance(entry, tuple) and len(entry) == 2:
+            yield entry
+        else:
+            yield entry, 1.0

@@ -1,0 +1,50 @@
+"""Cost-based query optimizer substrate (the "PostgreSQL" of this repo).
+
+A Selinger-style planner over statistics: access-path generation for base
+relations (sequential, index, index-only, bitmap, fragment and partition
+scans), dynamic-programming join enumeration with interesting orders, and a
+PostgreSQL-flavoured cost model.  The designer stack consumes it through
+:class:`~repro.optimizer.service.CostService`, the portable interface the
+paper requires of any host DBMS (an optimizer, statistics, join control).
+"""
+
+from repro.optimizer.settings import PlannerSettings, DISABLE_COST
+from repro.optimizer.plan import (
+    Aggregate,
+    AppendScan,
+    BitmapAndScan,
+    BitmapHeapScan,
+    FragmentScan,
+    HashJoin,
+    IndexScan,
+    Limit,
+    Materialize,
+    MergeJoin,
+    NestLoop,
+    Plan,
+    SeqScan,
+    Sort,
+)
+from repro.optimizer.planner import plan_query
+from repro.optimizer.service import CostService
+
+__all__ = [
+    "PlannerSettings",
+    "DISABLE_COST",
+    "Plan",
+    "SeqScan",
+    "IndexScan",
+    "BitmapHeapScan",
+    "BitmapAndScan",
+    "FragmentScan",
+    "AppendScan",
+    "NestLoop",
+    "HashJoin",
+    "MergeJoin",
+    "Sort",
+    "Materialize",
+    "Aggregate",
+    "Limit",
+    "plan_query",
+    "CostService",
+]

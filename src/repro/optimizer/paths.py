@@ -1,0 +1,563 @@
+"""Access-path generation and costing for base relations.
+
+For one table reference the planner considers:
+
+* sequential scan (or AppendScan over pruned horizontal partitions,
+  FragmentScan over a vertical layout),
+* index scans for every index whose key prefix matches sargable filters,
+* index-only scans when the index covers all referenced columns,
+* bitmap heap scans (good for medium-selectivity, uncorrelated keys),
+* "ordering-only" full index scans when an index's leading column is
+  *interesting* (ORDER BY / GROUP BY / merge-joinable),
+* parameterized index scans for nested-loop inners, where a join key is
+  treated as an equality probe.
+
+Cost formulas follow PostgreSQL's ``costsize.c`` shapes, including the
+Mackert–Lohman page-fetch estimate and correlation interpolation between
+the best-case (clustered) and worst-case (random) heap access cost.
+"""
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.optimizer.plan import (
+    AppendScan,
+    BitmapAndScan,
+    BitmapHeapScan,
+    FragmentScan,
+    IndexScan,
+    SeqScan,
+)
+from repro.optimizer.selectivity import (
+    conjunction_selectivity,
+    equality_fraction,
+    filter_selectivity,
+)
+from repro.util import ceil_div, clamp
+
+
+@dataclass
+class RelationGeometry:
+    """Physical footprint of one table reference after partition effects."""
+
+    table: object
+    alias: str
+    rows: float  # rows that any scan must consider (after pruning)
+    scan_pages: float  # pages a full scan reads
+    fetch_pages: float  # pages index heap-fetches target
+    fragments: tuple = ()  # chosen vertical fragments, if any
+    partitions_scanned: int = 0
+    partitions_total: int = 0
+    prune_fraction: float = 1.0
+
+
+def relation_geometry(bound_query, alias, catalog):
+    """Compute the effective size of *alias* given partition layouts."""
+    table = bound_query.table_for(alias)
+    needed = bound_query.referenced_columns(alias)
+    rows = float(table.row_count)
+    scan_pages = float(table.pages)
+    fetch_pages = float(table.pages)
+    fragments = ()
+    partitions_scanned = 0
+    partitions_total = 0
+    prune_fraction = 1.0
+
+    layout = catalog.vertical_layout(table.name)
+    if layout is not None:
+        chosen = tuple(layout.fragments_for(needed or set(table.column_names)))
+        fragments = chosen
+        scan_pages = float(sum(f.pages(table) for f in chosen))
+        fetch_pages = scan_pages
+
+    horizontal = catalog.horizontal_partitioning(table.name)
+    if horizontal is not None:
+        prune_fraction, partitions_scanned = _prune(bound_query, alias, table, horizontal)
+        partitions_total = horizontal.partition_count
+        rows *= prune_fraction
+        scan_pages = max(1.0, scan_pages * prune_fraction)
+        fetch_pages = max(1.0, fetch_pages * prune_fraction)
+
+    return RelationGeometry(
+        table=table,
+        alias=alias,
+        rows=rows,
+        scan_pages=max(1.0, scan_pages),
+        fetch_pages=max(1.0, fetch_pages),
+        fragments=fragments,
+        partitions_scanned=partitions_scanned,
+        partitions_total=partitions_total,
+        prune_fraction=prune_fraction,
+    )
+
+
+def _prune(bound_query, alias, table, horizontal):
+    """Fraction of rows in partitions surviving predicate pruning."""
+    low = high = None
+    for f in bound_query.filters_for(alias):
+        if f.column != horizontal.column:
+            continue
+        if f.kind == "eq":
+            low = high = f.value
+            break
+        if f.kind == "range":
+            low, high = f.low, f.high
+            break
+        if f.kind == "in" and f.values:
+            low, high = min(f.values), max(f.values)
+            break
+    matching = horizontal.matching_partitions(low, high)
+    if len(matching) >= horizontal.partition_count:
+        return 1.0, horizontal.partition_count
+    stats = table.stats(horizontal.column)
+    fraction = 0.0
+    for i in matching:
+        p_low, p_high = horizontal.partition_range(i)
+        fraction += stats.range_fraction(p_low, p_high, high_inclusive=False)
+    return clamp(fraction, 0.0, 1.0), len(matching)
+
+
+# ----------------------------------------------------------------------
+# Index/filter matching.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class IndexMatch:
+    """Result of matching filters (and join-key probes) to an index prefix."""
+
+    boundary_filters: tuple  # real BoundFilters consumed as boundary conds
+    param_columns: tuple  # join columns treated as equality probes
+    residual_filters: tuple  # remaining quals, checked after the fetch
+    eq_prefix: int  # leading key columns bound by equality
+    boundary_selectivity: float
+    ordering_columns: tuple  # key columns that still order the output
+
+
+def match_index(index, filters, table, param_columns=()):
+    """Greedy prefix match of sargable *filters* against *index*.
+
+    Equality conditions (including parameterized join probes) extend the
+    prefix; the first range/IN condition closes it.  Everything unmatched
+    becomes a residual qual.
+    """
+    by_column = {}
+    for f in filters:
+        by_column.setdefault(f.column, []).append(f)
+    params_available = set(param_columns)
+
+    boundary = []
+    used_params = []
+    eq_prefix = 0
+    sel = 1.0
+    closed = False
+    for key_col in index.columns:
+        if closed:
+            break
+        eq_filter = next(
+            (f for f in by_column.get(key_col, ()) if f.kind == "eq"), None
+        )
+        if eq_filter is not None:
+            boundary.append(eq_filter)
+            sel *= filter_selectivity(eq_filter, table)
+            eq_prefix += 1
+            continue
+        if key_col in params_available:
+            used_params.append(key_col)
+            sel *= equality_fraction(table, key_col)
+            eq_prefix += 1
+            continue
+        closing = next(
+            (f for f in by_column.get(key_col, ()) if f.kind in ("range", "in")),
+            None,
+        )
+        if closing is not None:
+            boundary.append(closing)
+            sel *= filter_selectivity(closing, table)
+        closed = True
+
+    boundary_set = set(id(f) for f in boundary)
+    residual = tuple(f for f in filters if id(f) not in boundary_set)
+    ordering = tuple(index.columns[eq_prefix:])
+    return IndexMatch(
+        boundary_filters=tuple(boundary),
+        param_columns=tuple(used_params),
+        residual_filters=residual,
+        eq_prefix=eq_prefix,
+        boundary_selectivity=clamp(sel, 0.0, 1.0),
+        ordering_columns=ordering,
+    )
+
+
+# ----------------------------------------------------------------------
+# Cost helpers.
+# ----------------------------------------------------------------------
+
+
+def mackert_lohman_pages(total_pages, tuples_fetched):
+    """Expected distinct heap pages touched when fetching *tuples_fetched*
+    random tuples from a *total_pages* heap (Mackert & Lohman)."""
+    T = max(1.0, float(total_pages))
+    N = max(0.0, float(tuples_fetched))
+    if N <= 0.0:
+        return 0.0
+    pages = (2.0 * T * N) / (2.0 * T + N)
+    return min(pages, T)
+
+
+def _descent_cost(table_rows, height, settings):
+    log_term = math.ceil(math.log2(max(2.0, table_rows)))
+    return (
+        log_term * settings.cpu_operator_cost
+        + (height + 1) * 50.0 * settings.cpu_operator_cost
+    )
+
+
+def _output_width(bound_query, alias):
+    table = bound_query.table_for(alias)
+    needed = bound_query.referenced_columns(alias)
+    if not needed:
+        return 8
+    return max(1, table.row_width(sorted(needed)))
+
+
+# ----------------------------------------------------------------------
+# Path construction.
+# ----------------------------------------------------------------------
+
+
+def scan_paths(bound_query, alias, catalog, settings, interesting_columns=()):
+    """All non-parameterized access paths for *alias*."""
+    geometry = relation_geometry(bound_query, alias, catalog)
+    filters = bound_query.filters_for(alias)
+    table = geometry.table
+    sel_all = conjunction_selectivity(filters, table)
+    rows_out = max(1.0, geometry.rows * sel_all)
+    width = _output_width(bound_query, alias)
+
+    paths = [_sequential_path(bound_query, geometry, filters, settings, rows_out, width)]
+
+    arm_candidates = []  # (index, match) pairs usable as BitmapAnd arms
+    for index in catalog.indexes_on(table.name):
+        match = match_index(index, filters, table)
+        useful_order = match.ordering_columns and match.ordering_columns[0] in interesting_columns
+        if not match.boundary_filters and not useful_order:
+            continue
+        if match.boundary_filters:
+            arm_candidates.append((index, match))
+        paths.extend(
+            _index_paths(
+                bound_query, geometry, index, match, settings, rows_out, width, sel_all
+            )
+        )
+    and_path = _bitmap_and_path(
+        bound_query, geometry, arm_candidates, filters, settings, rows_out, width
+    )
+    if and_path is not None:
+        paths.append(and_path)
+    return paths
+
+
+def parameterized_paths(bound_query, alias, catalog, settings, param_columns):
+    """Index paths probing *alias* by equality on *param_columns* (inner side
+    of an index nested loop).  Costs and rows are per outer probe."""
+    if not param_columns:
+        return []
+    geometry = relation_geometry(bound_query, alias, catalog)
+    filters = bound_query.filters_for(alias)
+    table = geometry.table
+    sel_filters = conjunction_selectivity(filters, table)
+    width = _output_width(bound_query, alias)
+
+    paths = []
+    for index in catalog.indexes_on(table.name):
+        match = match_index(index, filters, table, param_columns=param_columns)
+        if not match.param_columns:
+            continue
+        sel_all = match.boundary_selectivity
+        for f in match.residual_filters:
+            sel_all *= filter_selectivity(f, table)
+        rows_out = max(1e-9, geometry.rows * sel_all)
+        path = _index_scan_cost(
+            bound_query,
+            geometry,
+            index,
+            match,
+            settings,
+            rows_out,
+            width,
+            parameterized=True,
+        )
+        if path is not None:
+            paths.append(path)
+    return paths
+
+
+def _sequential_path(bound_query, geometry, filters, settings, rows_out, width):
+    table = geometry.table
+    n_quals = len(filters)
+    io = settings.seq_page_cost * geometry.scan_pages * (
+        1.0 - settings.effective_cache_fraction
+    )
+    cpu = (
+        settings.cpu_tuple_cost * geometry.rows
+        + settings.cpu_operator_cost * n_quals * geometry.rows
+    )
+    stitch = 0.0
+    if len(geometry.fragments) > 1:
+        # Positional stitch of k fragments: one extra comparison per row per
+        # extra fragment (fragments are co-ordered by row id).
+        stitch = (
+            settings.cpu_operator_cost * (len(geometry.fragments) - 1) * geometry.rows
+        )
+    total = io + cpu + stitch + settings.scan_penalty(settings.enable_seqscan)
+
+    if geometry.fragments:
+        return FragmentScan(
+            startup_cost=0.0,
+            total_cost=total,
+            rows=rows_out,
+            width=width,
+            table_name=table.name,
+            alias=geometry.alias,
+            fragments=geometry.fragments,
+            filters=tuple(filters),
+        )
+    if geometry.partitions_total:
+        return AppendScan(
+            startup_cost=0.0,
+            total_cost=total,
+            rows=rows_out,
+            width=width,
+            table_name=table.name,
+            alias=geometry.alias,
+            partitions_scanned=geometry.partitions_scanned,
+            partitions_total=geometry.partitions_total,
+        )
+    return SeqScan(
+        startup_cost=0.0,
+        total_cost=total,
+        rows=rows_out,
+        width=width,
+        table_name=table.name,
+        alias=geometry.alias,
+        filters=tuple(filters),
+    )
+
+
+def _index_paths(bound_query, geometry, index, match, settings, rows_out, width, sel_all):
+    paths = []
+    plain = _index_scan_cost(
+        bound_query, geometry, index, match, settings, rows_out, width,
+        parameterized=False,
+    )
+    if plain is not None:
+        paths.append(plain)
+        if plain.ordering:
+            # Btrees scan backward at the same cost: offer the descending
+            # ordering too (serves ORDER BY ... DESC without a sort).
+            backward = replace(
+                plain,
+                ordering=tuple((a, c, False) for a, c, __ in plain.ordering),
+                backward=True,
+                children=list(plain.children),
+            )
+            paths.append(backward)
+    bitmap = _bitmap_path(
+        bound_query, geometry, index, match, settings, rows_out, width
+    )
+    if bitmap is not None:
+        paths.append(bitmap)
+    return paths
+
+
+def _index_scan_cost(
+    bound_query, geometry, index, match, settings, rows_out, width, parameterized
+):
+    table = geometry.table
+    alias = geometry.alias
+    needed = bound_query.referenced_columns(alias)
+    sel_index = match.boundary_selectivity
+    tuples = max(1e-9, geometry.rows * sel_index)
+
+    total_pages, height, leaf_pages = index.shape(table)
+    if settings.assume_zero_size_indexes:
+        total_pages, height, leaf_pages = 1, 0, 1
+    startup = _descent_cost(table.row_count, height, settings)
+
+    leaf_visited = max(1.0, math.ceil(sel_index * leaf_pages * geometry.prune_fraction))
+    index_io = settings.random_page_cost + (leaf_visited - 1.0) * settings.seq_page_cost
+    if settings.assume_zero_size_indexes:
+        index_io = 0.0
+    index_cpu = settings.cpu_index_tuple_cost * tuples + settings.cpu_operator_cost * max(
+        1, len(match.boundary_filters) + len(match.param_columns)
+    ) * tuples
+
+    index_only = index.covers(needed) and not parameterized
+    if index_only:
+        # Heap fetches happen only for tuples on pages the visibility map
+        # does not mark all-visible — cap the Mackert-Lohman estimate by
+        # that page fraction, as PostgreSQL's cost_index does.
+        invisible = tuples * (1.0 - settings.index_only_visible_frac)
+        heap_pages = min(
+            mackert_lohman_pages(geometry.fetch_pages, invisible),
+            (1.0 - settings.index_only_visible_frac) * geometry.fetch_pages + 1.0,
+        )
+        heap_io = heap_pages * settings.random_page_cost
+        flag = settings.enable_indexonlyscan and settings.enable_indexscan
+    else:
+        T = geometry.fetch_pages
+        max_pages = mackert_lohman_pages(T, tuples)
+        max_io = max_pages * settings.random_page_cost
+        min_pages = max(1.0, math.ceil(sel_index * T))
+        min_io = settings.random_page_cost + (min_pages - 1.0) * settings.seq_page_cost
+        corr = table.stats(index.columns[0]).correlation
+        c2 = corr * corr
+        heap_io = c2 * min_io + (1.0 - c2) * max_io
+        flag = settings.enable_indexscan
+
+    heap_cpu = settings.cpu_tuple_cost * tuples + settings.cpu_operator_cost * len(
+        match.residual_filters
+    ) * tuples
+
+    total = startup + index_io + index_cpu + heap_io + heap_cpu
+    total *= (1.0 - settings.effective_cache_fraction * 0.5)
+    total += settings.scan_penalty(flag)
+
+    ordering = tuple((alias, col, True) for col in match.ordering_columns)
+    return IndexScan(
+        startup_cost=startup,
+        total_cost=total,
+        rows=rows_out,
+        width=width,
+        ordering=ordering,
+        table_name=table.name,
+        alias=alias,
+        index=index,
+        index_filters=match.boundary_filters,
+        heap_filters=match.residual_filters,
+        index_only=index_only,
+        is_parameterized=parameterized,
+        param_columns=match.param_columns,
+    )
+
+
+def _bitmap_and_path(bound_query, geometry, arm_candidates, filters, settings,
+                     rows_out, width):
+    """Combine the two most selective single-index arms with a BitmapAnd.
+
+    Each arm must bind a *different* leading column, so the combined
+    boundary selectivity is the product and the heap is visited once.
+    """
+    arms = []
+    seen_columns = set()
+    for index, match in sorted(
+        arm_candidates, key=lambda im: im[1].boundary_selectivity
+    ):
+        if not match.boundary_filters:
+            continue
+        lead = match.boundary_filters[0]
+        if lead.column in seen_columns:
+            continue
+        seen_columns.add(lead.column)
+        arms.append((index, lead, filter_selectivity(lead, geometry.table)))
+        if len(arms) == 2:
+            break
+    if len(arms) < 2:
+        return None
+
+    table = geometry.table
+    sel_combined = 1.0
+    index_cost = 0.0
+    for index, lead, sel in arms:
+        sel_combined *= sel
+        total_pages, height, leaf_pages = index.shape(table)
+        if settings.assume_zero_size_indexes:
+            height, leaf_pages = 0, 1
+        arm_tuples = max(1e-9, geometry.rows * sel)
+        leaf_visited = max(1.0, math.ceil(sel * leaf_pages * geometry.prune_fraction))
+        arm_io = 0.0 if settings.assume_zero_size_indexes else (
+            settings.random_page_cost + (leaf_visited - 1.0) * settings.seq_page_cost
+        )
+        index_cost += (
+            _descent_cost(table.row_count, height, settings)
+            + arm_io
+            + settings.cpu_index_tuple_cost * arm_tuples
+        )
+
+    tuples = max(1e-9, geometry.rows * sel_combined)
+    T = geometry.fetch_pages
+    pages_fetched = max(1.0, mackert_lohman_pages(T, tuples))
+    frac = clamp(pages_fetched / max(1.0, T), 0.0, 1.0)
+    cost_per_page = settings.random_page_cost - (
+        settings.random_page_cost - settings.seq_page_cost
+    ) * math.sqrt(frac)
+    heap_io = pages_fetched * cost_per_page
+
+    arm_columns = {lead.column for __, lead, __ in arms}
+    residual = tuple(f for f in filters if f.column not in arm_columns)
+    heap_cpu = (
+        settings.cpu_tuple_cost * tuples
+        + 0.2 * settings.cpu_operator_cost * tuples  # two bitmap passes
+        + settings.cpu_operator_cost * len(residual) * tuples
+    )
+    total = index_cost + heap_io + heap_cpu
+    total *= (1.0 - settings.effective_cache_fraction * 0.5)
+    total += settings.scan_penalty(settings.enable_bitmapscan)
+    return BitmapAndScan(
+        startup_cost=index_cost,
+        total_cost=total,
+        rows=rows_out,
+        width=width,
+        table_name=table.name,
+        alias=geometry.alias,
+        indexes=tuple(index for index, __, __ in arms),
+        arm_filters=tuple(lead for __, lead, __ in arms),
+        heap_filters=residual,
+    )
+
+
+def _bitmap_path(bound_query, geometry, index, match, settings, rows_out, width):
+    if not match.boundary_filters:
+        return None  # a full-index bitmap scan is never useful
+    table = geometry.table
+    sel_index = match.boundary_selectivity
+    tuples = max(1e-9, geometry.rows * sel_index)
+
+    total_pages, height, leaf_pages = index.shape(table)
+    if settings.assume_zero_size_indexes:
+        total_pages, height, leaf_pages = 1, 0, 1
+    descent = _descent_cost(table.row_count, height, settings)
+    leaf_visited = max(1.0, math.ceil(sel_index * leaf_pages * geometry.prune_fraction))
+    index_io = settings.random_page_cost + (leaf_visited - 1.0) * settings.seq_page_cost
+    if settings.assume_zero_size_indexes:
+        index_io = 0.0
+    index_cost = descent + index_io + settings.cpu_index_tuple_cost * tuples
+
+    T = geometry.fetch_pages
+    pages_fetched = max(1.0, mackert_lohman_pages(T, tuples))
+    frac = clamp(pages_fetched / max(1.0, T), 0.0, 1.0)
+    cost_per_page = settings.random_page_cost - (
+        settings.random_page_cost - settings.seq_page_cost
+    ) * math.sqrt(frac)
+    heap_io = pages_fetched * cost_per_page
+    heap_cpu = (
+        settings.cpu_tuple_cost * tuples
+        + 0.1 * settings.cpu_operator_cost * tuples
+        + settings.cpu_operator_cost * len(match.residual_filters) * tuples
+    )
+
+    total = index_cost + heap_io + heap_cpu
+    total *= (1.0 - settings.effective_cache_fraction * 0.5)
+    total += settings.scan_penalty(settings.enable_bitmapscan)
+    return BitmapHeapScan(
+        startup_cost=index_cost,
+        total_cost=total,
+        rows=rows_out,
+        width=width,
+        table_name=table.name,
+        alias=geometry.alias,
+        index=index,
+        index_filters=match.boundary_filters,
+        heap_filters=match.residual_filters,
+    )

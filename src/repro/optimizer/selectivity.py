@@ -1,0 +1,85 @@
+"""Selectivity estimation: bound filters and join clauses -> fractions.
+
+Follows PostgreSQL's estimator structure: per-clause selectivities from
+MCVs + histograms, combined under the attribute-independence assumption;
+equi-join selectivity ``1 / max(nd_left, nd_right)``.
+"""
+
+from repro.util import clamp
+
+DEFAULT_EQ_SEL = 0.005
+DEFAULT_RANGE_SEL = 1.0 / 3.0
+DEFAULT_NE_SEL = 1.0 - DEFAULT_EQ_SEL
+
+
+def filter_selectivity(bound_filter, table):
+    """Selectivity of one :class:`~repro.sql.binder.BoundFilter`."""
+    stats = table.stats(bound_filter.column)
+    kind = bound_filter.kind
+    if kind == "eq":
+        return clamp(stats.eq_fraction(bound_filter.value), 0.0, 1.0)
+    if kind == "ne":
+        eq = stats.eq_fraction(bound_filter.value)
+        return clamp(stats.nonnull_frac - eq, 0.0, 1.0)
+    if kind == "range":
+        return clamp(
+            stats.range_fraction(
+                low=bound_filter.low,
+                high=bound_filter.high,
+                low_inclusive=bound_filter.low_inclusive,
+                high_inclusive=bound_filter.high_inclusive,
+            ),
+            0.0,
+            1.0,
+        )
+    if kind == "in":
+        total = sum(stats.eq_fraction(v) for v in bound_filter.values)
+        return clamp(total, 0.0, 1.0)
+    if kind == "isnull":
+        return clamp(stats.null_frac, 0.0, 1.0)
+    if kind == "notnull":
+        return clamp(stats.nonnull_frac, 0.0, 1.0)
+    raise ValueError("unknown filter kind %r" % (kind,))
+
+
+def conjunction_selectivity(filters, table):
+    """Combined selectivity of a conjunct list (independence assumption)."""
+    sel = 1.0
+    for f in filters:
+        sel *= filter_selectivity(f, table)
+    return clamp(sel, 0.0, 1.0)
+
+
+def equality_fraction(table, column):
+    """Average fraction of rows matching an equality probe on *column*
+    (used for parameterized index scans on join keys): ``1 / n_distinct``."""
+    stats = table.stats(column)
+    return clamp(stats.nonnull_frac / max(1.0, stats.n_distinct), 0.0, 1.0)
+
+
+def join_selectivity(left_table, left_column, right_table, right_column):
+    """Equi-join selectivity: ``1 / max(nd_left, nd_right)`` scaled by the
+    non-null fractions (PostgreSQL's ``eqjoinsel`` without MCV matching)."""
+    ls = left_table.stats(left_column)
+    rs = right_table.stats(right_column)
+    nd = max(1.0, ls.n_distinct, rs.n_distinct)
+    return clamp(ls.nonnull_frac * rs.nonnull_frac / nd, 0.0, 1.0)
+
+
+def distinct_after_filter(table, column, input_rows):
+    """Estimated number of distinct values of *column* among *input_rows*
+    surviving rows (cap n_distinct by the row count)."""
+    stats = table.stats(column)
+    return max(1.0, min(stats.n_distinct, input_rows))
+
+
+def group_count(bound_query, input_rows):
+    """Estimated number of GROUP BY groups (product of per-column distincts,
+    capped by the input cardinality)."""
+    if not bound_query.group_by:
+        return 1.0
+    groups = 1.0
+    for alias, column in bound_query.group_by:
+        table = bound_query.table_for(alias)
+        groups *= max(1.0, table.stats(column).n_distinct)
+    return max(1.0, min(groups, input_rows))

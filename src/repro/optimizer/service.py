@@ -1,0 +1,122 @@
+"""CostService: the portable optimizer facade the designer stack consumes.
+
+The paper argues the tool ports to "any relational DBMS which offers a
+query optimizer, a way to extract and create statistics, and control over
+join operations".  This class is that contract: ``plan``/``cost`` with
+GUC-style join control, plus call accounting so experiments can report how
+many (expensive) optimizer invocations a designer component issued — the
+quantity INUM's caching is meant to slash.
+"""
+
+from repro.optimizer.planner import plan_query
+from repro.optimizer.settings import DEFAULT_SETTINGS
+from repro.optimizer.writecost import write_statement_cost
+from repro.sql.binder import BoundQuery, BoundWrite, bind_statement
+from repro.util import PlanningError
+
+
+class CostService:
+    """Plans queries against one catalog with one settings snapshot."""
+
+    def __init__(self, catalog, settings=None, shared_counter=None):
+        self.catalog = catalog
+        self.settings = settings or DEFAULT_SETTINGS
+        self._bind_cache = {}
+        self._plan_cache = {}
+        self._counter = shared_counter if shared_counter is not None else _Counter()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def optimizer_calls(self):
+        """Number of full planner invocations issued so far."""
+        return self._counter.calls
+
+    def reset_counter(self):
+        self._counter.calls = 0
+
+    # ------------------------------------------------------------------
+
+    def bound(self, query):
+        """Accept SQL text or an already-bound statement."""
+        if isinstance(query, (BoundQuery, BoundWrite)):
+            return query
+        if isinstance(query, str):
+            cached = self._bind_cache.get(query)
+            if cached is None:
+                cached = bind_statement(query, self.catalog)
+                self._bind_cache[query] = cached
+            return cached
+        raise TypeError("expected SQL text or BoundQuery, got %r" % (type(query),))
+
+    def plan(self, query):
+        """Plan *query*, caching by SQL text (cache keys include nothing of
+        the physical design, so a CostService must not outlive catalog
+        design changes — what-if sessions create fresh services)."""
+        bq = self.bound(query)
+        if isinstance(bq, BoundWrite):
+            raise PlanningError(
+                "write statements have no plan tree; use cost() instead"
+            )
+        key = bq.sql
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            self._counter.calls += 1
+            plan = plan_query(bq, self.catalog, self.settings)
+            self._plan_cache[key] = plan
+        return plan
+
+    def cost(self, query):
+        bq = self.bound(query)
+        if isinstance(bq, BoundWrite):
+            return write_statement_cost(
+                bq,
+                self.catalog,
+                self.settings,
+                locate_cost_fn=lambda locate: self.plan(locate).total_cost,
+            )
+        return self.plan(bq).total_cost
+
+    def explain(self, query):
+        return self.plan(query).explain()
+
+    def workload_cost(self, workload):
+        """Weighted total cost of a workload (iterable of (query, weight)
+        pairs or a :class:`~repro.workloads.workload.Workload`)."""
+        total = 0.0
+        for query, weight in _pairs(workload):
+            total += weight * self.cost(query)
+        return total
+
+    # ------------------------------------------------------------------
+
+    def with_catalog(self, catalog):
+        """A service against a different (e.g. hypothetical) catalog.
+
+        Shares the optimizer-call counter so experiments see the total
+        spend across what-if explorations, but not the plan cache (plans
+        depend on the physical design).
+        """
+        svc = CostService(catalog, self.settings, shared_counter=self._counter)
+        svc._bind_cache = self._bind_cache  # binding only reads logical schema
+        return svc
+
+    def with_settings(self, settings):
+        svc = CostService(self.catalog, settings, shared_counter=self._counter)
+        svc._bind_cache = self._bind_cache
+        return svc
+
+
+class _Counter:
+    __slots__ = ("calls",)
+
+    def __init__(self):
+        self.calls = 0
+
+
+def _pairs(workload):
+    for entry in workload:
+        if isinstance(entry, tuple) and len(entry) == 2:
+            yield entry
+        else:
+            yield entry, 1.0

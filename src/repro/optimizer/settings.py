@@ -1,0 +1,68 @@
+"""Planner cost constants and enable flags (PostgreSQL GUC equivalents).
+
+The ``enable_*`` flags implement the paper's *what-if join component*: the
+designer toggles join methods (and scan types) to steer the optimizer while
+exploring hypothetical designs, exactly like setting ``enable_hashjoin``
+and friends on a real PostgreSQL.
+
+Disabled paths are not removed — they are penalized with
+:data:`DISABLE_COST`, matching PostgreSQL's behaviour so a plan always
+exists even when everything relevant is "disabled".
+"""
+
+from dataclasses import dataclass, replace
+
+DISABLE_COST = 1.0e10
+
+
+@dataclass(frozen=True)
+class PlannerSettings:
+    """Cost model constants and planner toggles.
+
+    Defaults are PostgreSQL's shipped values.  ``work_mem`` is in bytes.
+    """
+
+    seq_page_cost: float = 1.0
+    random_page_cost: float = 4.0
+    cpu_tuple_cost: float = 0.01
+    cpu_index_tuple_cost: float = 0.005
+    cpu_operator_cost: float = 0.0025
+    work_mem: int = 4 * 1024 * 1024
+    effective_cache_fraction: float = 0.0  # fraction of heap assumed cached
+
+    enable_seqscan: bool = True
+    enable_indexscan: bool = True
+    enable_indexonlyscan: bool = True
+    enable_bitmapscan: bool = True
+    enable_nestloop: bool = True
+    enable_hashjoin: bool = True
+    enable_mergejoin: bool = True
+    enable_sort: bool = True
+    enable_material: bool = True
+
+    # Fraction of heap pages assumed all-visible for index-only scans.
+    index_only_visible_frac: float = 0.95
+
+    # Reproduces the flaw the paper's §2 attributes to Monteiro et al.:
+    # cost what-if indexes as if they had zero size (no descent, no leaf
+    # IO).  Exists purely so the CL-ZSIZE experiment can measure how badly
+    # this skews the advisor; never enable it for real tuning.
+    assume_zero_size_indexes: bool = False
+
+    def with_changes(self, **kwargs):
+        """Return a copy with the given GUCs overridden."""
+        return replace(self, **kwargs)
+
+    def join_methods_enabled(self):
+        return {
+            "nestloop": self.enable_nestloop,
+            "hashjoin": self.enable_hashjoin,
+            "mergejoin": self.enable_mergejoin,
+        }
+
+    def scan_penalty(self, flag):
+        """0 when *flag* is on, :data:`DISABLE_COST` otherwise."""
+        return 0.0 if flag else DISABLE_COST
+
+
+DEFAULT_SETTINGS = PlannerSettings()

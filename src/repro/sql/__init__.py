@@ -1,0 +1,57 @@
+"""SQL frontend: lexer, parser, AST, and binder for the designer's dialect.
+
+The dialect covers what the SDSS-style and TPC-H-style workloads need:
+``SELECT`` lists with aggregates, multi-table ``FROM``, conjunctive
+``WHERE`` clauses (comparisons, BETWEEN, IN, IS NULL, equality joins),
+``GROUP BY``, ``ORDER BY`` and ``LIMIT``.
+"""
+
+from repro.sql.astnodes import (
+    BetweenPredicate,
+    ColumnRef,
+    Comparison,
+    FuncCall,
+    InPredicate,
+    IsNullPredicate,
+    Literal,
+    Query,
+    SelectItem,
+    Star,
+    TableRef,
+)
+from repro.sql.lexer import Lexer, Token
+from repro.sql.parser import parse, parse_statement
+from repro.sql.binder import (
+    BoundFilter,
+    BoundJoin,
+    BoundQuery,
+    BoundWrite,
+    bind,
+    bind_sql,
+    bind_statement,
+)
+
+__all__ = [
+    "BetweenPredicate",
+    "ColumnRef",
+    "Comparison",
+    "FuncCall",
+    "InPredicate",
+    "IsNullPredicate",
+    "Literal",
+    "Query",
+    "SelectItem",
+    "Star",
+    "TableRef",
+    "Lexer",
+    "Token",
+    "parse",
+    "parse_statement",
+    "BoundFilter",
+    "BoundJoin",
+    "BoundQuery",
+    "BoundWrite",
+    "bind",
+    "bind_sql",
+    "bind_statement",
+]

@@ -1,0 +1,212 @@
+"""AST node types produced by the parser.
+
+Nodes are frozen dataclasses with an :meth:`unparse` that round-trips to
+SQL text — used by the query-rewriting component (AutoPart rewrites queries
+onto fragment tables and the reports show the rewritten text).
+"""
+
+from dataclasses import dataclass
+
+
+def _format_literal(value):
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        return "'%s'" % value.replace("'", "''")
+    if isinstance(value, float) and value.is_integer():
+        return "%.1f" % value
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """Possibly-qualified column reference (``table`` may be an alias)."""
+
+    table: str
+    column: str
+
+    def unparse(self):
+        return "%s.%s" % (self.table, self.column) if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object
+
+    def unparse(self):
+        return _format_literal(self.value)
+
+
+@dataclass(frozen=True)
+class Star:
+    def unparse(self):
+        return "*"
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """Aggregate call: COUNT/SUM/AVG/MIN/MAX over a column or ``*``."""
+
+    name: str
+    arg: object  # ColumnRef or Star
+    distinct: bool = False
+
+    def unparse(self):
+        inner = ("DISTINCT " if self.distinct else "") + self.arg.unparse()
+        return "%s(%s)" % (self.name.upper(), inner)
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: object
+    alias: str = ""
+
+    def unparse(self):
+        text = self.expr.unparse()
+        return "%s AS %s" % (text, self.alias) if self.alias else text
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: str = ""
+
+    @property
+    def effective_alias(self):
+        return self.alias or self.name
+
+    def unparse(self):
+        return "%s %s" % (self.name, self.alias) if self.alias else self.name
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left op right`` where left is a ColumnRef and right is a Literal or
+    another ColumnRef (the latter expresses a join predicate)."""
+
+    left: ColumnRef
+    op: str
+    right: object
+
+    def unparse(self):
+        return "%s %s %s" % (self.left.unparse(), self.op, self.right.unparse())
+
+
+@dataclass(frozen=True)
+class BetweenPredicate:
+    column: ColumnRef
+    low: Literal
+    high: Literal
+
+    def unparse(self):
+        return "%s BETWEEN %s AND %s" % (
+            self.column.unparse(),
+            self.low.unparse(),
+            self.high.unparse(),
+        )
+
+
+@dataclass(frozen=True)
+class InPredicate:
+    column: ColumnRef
+    values: tuple
+
+    def unparse(self):
+        return "%s IN (%s)" % (
+            self.column.unparse(),
+            ", ".join(_format_literal(v) for v in self.values),
+        )
+
+
+@dataclass(frozen=True)
+class IsNullPredicate:
+    column: ColumnRef
+    negated: bool = False
+
+    def unparse(self):
+        return "%s IS %sNULL" % (self.column.unparse(), "NOT " if self.negated else "")
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    column: ColumnRef
+    ascending: bool = True
+
+    def unparse(self):
+        return self.column.unparse() + ("" if self.ascending else " DESC")
+
+
+@dataclass(frozen=True)
+class UpdateStatement:
+    """``UPDATE table SET col = lit [, ...] [WHERE conjuncts]``."""
+
+    table: TableRef
+    assignments: tuple  # ((column_name, Literal), ...)
+    predicates: tuple = ()
+
+    def unparse(self):
+        text = "UPDATE %s SET %s" % (
+            self.table.unparse(),
+            ", ".join("%s = %s" % (c, v.unparse()) for c, v in self.assignments),
+        )
+        if self.predicates:
+            text += " WHERE " + " AND ".join(p.unparse() for p in self.predicates)
+        return text
+
+
+@dataclass(frozen=True)
+class InsertStatement:
+    """``INSERT INTO table VALUES (...), (...)`` — only the row count and
+    target matter to the designer."""
+
+    table: TableRef
+    n_rows: int = 1
+
+    def unparse(self):
+        return "INSERT INTO %s VALUES %s" % (
+            self.table.unparse(),
+            ", ".join("(...)" for __ in range(self.n_rows)),
+        )
+
+
+@dataclass(frozen=True)
+class DeleteStatement:
+    """``DELETE FROM table [WHERE conjuncts]``."""
+
+    table: TableRef
+    predicates: tuple = ()
+
+    def unparse(self):
+        text = "DELETE FROM %s" % self.table.unparse()
+        if self.predicates:
+            text += " WHERE " + " AND ".join(p.unparse() for p in self.predicates)
+        return text
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed SELECT statement (conjunctive WHERE only)."""
+
+    select_items: tuple
+    tables: tuple
+    predicates: tuple = ()
+    group_by: tuple = ()
+    order_by: tuple = ()
+    limit: int = None
+
+    def unparse(self):
+        parts = [
+            "SELECT " + ", ".join(item.unparse() for item in self.select_items),
+            "FROM " + ", ".join(t.unparse() for t in self.tables),
+        ]
+        if self.predicates:
+            parts.append("WHERE " + " AND ".join(p.unparse() for p in self.predicates))
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(c.unparse() for c in self.group_by))
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(o.unparse() for o in self.order_by))
+        if self.limit is not None:
+            parts.append("LIMIT %d" % self.limit)
+        return " ".join(parts)

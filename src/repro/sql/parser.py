@@ -1,0 +1,323 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (keywords case-insensitive)::
+
+    query     := SELECT select_list FROM table_list [WHERE conjuncts]
+                 [GROUP BY colrefs] [ORDER BY order_items] [LIMIT int]
+    select_list := '*' | item (',' item)*
+    item      := colref [AS ident] | agg '(' [DISTINCT] (colref | '*') ')' [AS ident]
+    table_list := table_ref (',' table_ref)*
+    table_ref := ident [[AS] ident]
+    conjuncts := predicate (AND predicate)*
+    predicate := colref cmp (literal | colref)
+               | colref BETWEEN literal AND literal
+               | colref [NOT] IN '(' literal (',' literal)* ')'
+               | colref IS [NOT] NULL
+
+``OR`` and ``NOT IN`` are rejected with a clear error — the designer's
+workloads are conjunctive, matching the candidate-generation assumptions
+in CoPhy and COLT.
+"""
+
+from repro.sql.astnodes import (
+    BetweenPredicate,
+    ColumnRef,
+    Comparison,
+    DeleteStatement,
+    FuncCall,
+    InPredicate,
+    InsertStatement,
+    IsNullPredicate,
+    Literal,
+    OrderItem,
+    Query,
+    SelectItem,
+    Star,
+    TableRef,
+    UpdateStatement,
+)
+from repro.sql.lexer import Lexer
+from repro.util import ParseError
+
+AGGREGATES = frozenset({"count", "sum", "avg", "min", "max"})
+_COMPARISON_OPS = frozenset({"=", "<>", "!=", "<", "<=", ">", ">="})
+
+
+def parse(sql):
+    """Parse a SELECT statement into a :class:`~repro.sql.astnodes.Query`."""
+    return _Parser(Lexer(sql).tokens()).parse_query()
+
+
+def parse_statement(sql):
+    """Parse any supported statement: SELECT, UPDATE, INSERT, DELETE."""
+    parser = _Parser(Lexer(sql).tokens())
+    head = parser._cur
+    if head.kind != "keyword":
+        raise ParseError("expected a statement keyword", head.position)
+    if head.value == "select":
+        return parser.parse_query()
+    if head.value == "update":
+        return parser.parse_update()
+    if head.value == "insert":
+        return parser.parse_insert()
+    if head.value == "delete":
+        return parser.parse_delete()
+    raise ParseError("unsupported statement %r" % (head.value,), head.position)
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self._tokens = tokens
+        self._idx = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    @property
+    def _cur(self):
+        return self._tokens[self._idx]
+
+    def _advance(self):
+        tok = self._cur
+        if tok.kind != "eof":
+            self._idx += 1
+        return tok
+
+    def _accept(self, kind, value=None):
+        tok = self._cur
+        if tok.kind != kind:
+            return None
+        if value is not None and tok.value != value:
+            return None
+        return self._advance()
+
+    def _expect(self, kind, value=None, what=None):
+        tok = self._accept(kind, value)
+        if tok is None:
+            wanted = what or (value if value is not None else kind)
+            raise ParseError(
+                "expected %s but found %r" % (wanted, self._cur.value), self._cur.position
+            )
+        return tok
+
+    # -- grammar --------------------------------------------------------
+
+    def parse_update(self):
+        self._expect("keyword", "update")
+        table = TableRef(self._expect("ident", what="table name").value)
+        self._expect("keyword", "set")
+        assignments = [self._parse_assignment()]
+        while self._accept("punct", ","):
+            assignments.append(self._parse_assignment())
+        predicates = ()
+        if self._accept("keyword", "where"):
+            predicates = self._parse_conjuncts()
+        self._expect("eof", what="end of statement")
+        return UpdateStatement(
+            table=table, assignments=tuple(assignments), predicates=predicates
+        )
+
+    def _parse_assignment(self):
+        column = self._expect("ident", what="column name").value
+        self._expect("op", "=")
+        return column, self._parse_literal()
+
+    def parse_insert(self):
+        self._expect("keyword", "insert")
+        self._expect("keyword", "into")
+        table = TableRef(self._expect("ident", what="table name").value)
+        self._expect("keyword", "values")
+        n_rows = 0
+        while True:
+            self._expect("punct", "(")
+            self._parse_literal()
+            while self._accept("punct", ","):
+                self._parse_literal()
+            self._expect("punct", ")")
+            n_rows += 1
+            if not self._accept("punct", ","):
+                break
+        self._expect("eof", what="end of statement")
+        return InsertStatement(table=table, n_rows=n_rows)
+
+    def parse_delete(self):
+        self._expect("keyword", "delete")
+        self._expect("keyword", "from")
+        table = TableRef(self._expect("ident", what="table name").value)
+        predicates = ()
+        if self._accept("keyword", "where"):
+            predicates = self._parse_conjuncts()
+        self._expect("eof", what="end of statement")
+        return DeleteStatement(table=table, predicates=predicates)
+
+    def parse_query(self):
+        self._expect("keyword", "select")
+        select_items = self._parse_select_list()
+        self._expect("keyword", "from")
+        tables = self._parse_table_list()
+        predicates = ()
+        if self._accept("keyword", "where"):
+            predicates = self._parse_conjuncts()
+        group_by = ()
+        order_by = ()
+        limit = None
+        if self._accept("keyword", "group"):
+            self._expect("keyword", "by")
+            group_by = self._parse_column_list()
+        if self._accept("keyword", "order"):
+            self._expect("keyword", "by")
+            order_by = self._parse_order_items()
+        if self._accept("keyword", "limit"):
+            tok = self._expect("number", what="integer LIMIT")
+            if not isinstance(tok.value, int) or tok.value < 0:
+                raise ParseError("LIMIT must be a non-negative integer", tok.position)
+            limit = tok.value
+        self._expect("eof", what="end of query")
+        return Query(
+            select_items=select_items,
+            tables=tables,
+            predicates=predicates,
+            group_by=group_by,
+            order_by=order_by,
+            limit=limit,
+        )
+
+    def _parse_select_list(self):
+        if self._accept("punct", "*"):
+            return (SelectItem(Star()),)
+        items = [self._parse_select_item()]
+        while self._accept("punct", ","):
+            items.append(self._parse_select_item())
+        return tuple(items)
+
+    def _parse_select_item(self):
+        tok = self._cur
+        if tok.kind == "ident" and tok.value in AGGREGATES and self._peek_punct("("):
+            expr = self._parse_aggregate()
+        else:
+            expr = self._parse_column_ref()
+        alias = ""
+        if self._accept("keyword", "as"):
+            alias = self._expect("ident", what="alias").value
+        elif self._cur.kind == "ident" and not self._peek_punct("."):
+            # bare alias: "SELECT a.x foo" — accept the common shorthand
+            alias = self._advance().value
+        return SelectItem(expr, alias)
+
+    def _peek_punct(self, punct):
+        nxt = self._tokens[self._idx + 1] if self._idx + 1 < len(self._tokens) else None
+        return nxt is not None and nxt.kind == "punct" and nxt.value == punct
+
+    def _parse_aggregate(self):
+        name = self._expect("ident").value
+        self._expect("punct", "(")
+        distinct = bool(self._accept("keyword", "distinct"))
+        if self._accept("punct", "*"):
+            if name != "count":
+                raise ParseError("only COUNT accepts *", self._cur.position)
+            arg = Star()
+        else:
+            arg = self._parse_column_ref()
+        self._expect("punct", ")")
+        return FuncCall(name, arg, distinct)
+
+    def _parse_table_list(self):
+        tables = [self._parse_table_ref()]
+        while self._accept("punct", ","):
+            tables.append(self._parse_table_ref())
+        return tuple(tables)
+
+    def _parse_table_ref(self):
+        name = self._expect("ident", what="table name").value
+        alias = ""
+        if self._accept("keyword", "as"):
+            alias = self._expect("ident", what="table alias").value
+        elif self._cur.kind == "ident":
+            alias = self._advance().value
+        return TableRef(name, alias)
+
+    def _parse_conjuncts(self):
+        predicates = [self._parse_predicate()]
+        while True:
+            if self._accept("keyword", "and"):
+                predicates.append(self._parse_predicate())
+            elif self._cur.kind == "keyword" and self._cur.value == "or":
+                raise ParseError(
+                    "OR is not supported (conjunctive WHERE only)", self._cur.position
+                )
+            else:
+                return tuple(predicates)
+
+    def _parse_predicate(self):
+        column = self._parse_column_ref()
+        if self._accept("keyword", "between"):
+            low = self._parse_literal()
+            self._expect("keyword", "and")
+            high = self._parse_literal()
+            return BetweenPredicate(column, low, high)
+        if self._accept("keyword", "in"):
+            self._expect("punct", "(")
+            values = [self._parse_literal().value]
+            while self._accept("punct", ","):
+                values.append(self._parse_literal().value)
+            self._expect("punct", ")")
+            return InPredicate(column, tuple(values))
+        if self._accept("keyword", "is"):
+            negated = bool(self._accept("keyword", "not"))
+            self._expect("keyword", "null")
+            return IsNullPredicate(column, negated)
+        op_tok = self._cur
+        if op_tok.kind != "op" or op_tok.value not in _COMPARISON_OPS:
+            raise ParseError(
+                "expected comparison operator, found %r" % (op_tok.value,),
+                op_tok.position,
+            )
+        self._advance()
+        op = "<>" if op_tok.value == "!=" else op_tok.value
+        cur = self._cur
+        is_literal = (
+            cur.kind in ("number", "string")
+            or (cur.kind == "keyword" and cur.value == "null")
+            or (cur.kind == "punct" and cur.value in "+-")
+        )
+        right = self._parse_literal() if is_literal else self._parse_column_ref()
+        return Comparison(column, op, right)
+
+    def _parse_literal(self):
+        if self._accept("punct", "-"):
+            tok = self._expect("number", what="number after unary minus")
+            return Literal(-tok.value)
+        self._accept("punct", "+")
+        tok = self._cur
+        if tok.kind in ("number", "string"):
+            self._advance()
+            return Literal(tok.value)
+        if tok.kind == "keyword" and tok.value == "null":
+            self._advance()
+            return Literal(None)
+        raise ParseError("expected a literal, found %r" % (tok.value,), tok.position)
+
+    def _parse_column_ref(self):
+        first = self._expect("ident", what="column reference").value
+        if self._accept("punct", "."):
+            second = self._expect("ident", what="column name").value
+            return ColumnRef(first, second)
+        return ColumnRef("", first)
+
+    def _parse_column_list(self):
+        cols = [self._parse_column_ref()]
+        while self._accept("punct", ","):
+            cols.append(self._parse_column_ref())
+        return tuple(cols)
+
+    def _parse_order_items(self):
+        items = []
+        while True:
+            col = self._parse_column_ref()
+            ascending = True
+            if self._accept("keyword", "desc"):
+                ascending = False
+            else:
+                self._accept("keyword", "asc")
+            items.append(OrderItem(col, ascending))
+            if not self._accept("punct", ","):
+                return tuple(items)

@@ -1,0 +1,24 @@
+"""Small shared utilities: error types, math helpers, deterministic RNG."""
+
+from repro.util.errors import (
+    ReproError,
+    CatalogError,
+    ParseError,
+    BindError,
+    PlanningError,
+    DesignError,
+)
+from repro.util.maths import align8, ceil_div, clamp, safe_log2
+
+__all__ = [
+    "ReproError",
+    "CatalogError",
+    "ParseError",
+    "BindError",
+    "PlanningError",
+    "DesignError",
+    "align8",
+    "ceil_div",
+    "clamp",
+    "safe_log2",
+]

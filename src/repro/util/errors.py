@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+applications embedding the designer can catch one base type.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CatalogError(ReproError):
+    """Raised for inconsistent catalog operations (unknown table, duplicate
+    index name, dropping a missing object, ...)."""
+
+
+class ParseError(ReproError):
+    """Raised by the SQL lexer/parser on malformed input.
+
+    Carries the character position when known so callers can render a caret.
+    """
+
+    def __init__(self, message, position=None):
+        super().__init__(message)
+        self.position = position
+
+
+class BindError(ReproError):
+    """Raised when a parsed query references unknown tables or columns, or
+    is otherwise semantically invalid for the given catalog."""
+
+
+class PlanningError(ReproError):
+    """Raised when the optimizer cannot produce a plan (e.g. every join
+    method disabled, or an internal invariant is violated)."""
+
+
+class DesignError(ReproError):
+    """Raised by designer components for invalid tuning requests (negative
+    storage budget, empty workload where one is required, ...)."""

@@ -1,0 +1,31 @@
+"""Tiny numeric helpers shared across the cost model and designers."""
+
+import math
+
+
+def align8(nbytes):
+    """Round *nbytes* up to the next multiple of 8 (PostgreSQL MAXALIGN)."""
+    return (int(nbytes) + 7) & ~7
+
+
+def ceil_div(numerator, denominator):
+    """Integer ceiling division; denominator must be positive."""
+    if denominator <= 0:
+        raise ValueError("denominator must be positive, got %r" % (denominator,))
+    return -(-int(numerator) // int(denominator))
+
+
+def clamp(value, low, high):
+    """Clamp *value* into the closed interval [low, high]."""
+    if low > high:
+        raise ValueError("empty interval [%r, %r]" % (low, high))
+    return max(low, min(high, value))
+
+
+def safe_log2(value):
+    """log2 that tolerates values below 2 (returns at least 1.0).
+
+    The cost model uses ``N * log2(N)`` terms for sorts; for tiny inputs the
+    logarithm must not go to zero or negative.
+    """
+    return math.log2(value) if value >= 2.0 else 1.0

@@ -1,0 +1,167 @@
+"""What-if sessions: evaluate queries and workloads under hypothetical
+configurations, with per-configuration service caching.
+
+The session is the single entry point through which every designer
+component obtains optimizer costs for designs that do not exist — the
+paper's claim that "we escape the cost of explicitly building a
+structure".
+"""
+
+from dataclasses import dataclass, field
+
+from repro.optimizer import CostService
+from repro.whatif.config import Configuration
+
+
+@dataclass
+class QueryBenefit:
+    """Per-query outcome of a what-if comparison."""
+
+    sql: str
+    base_cost: float
+    new_cost: float
+    weight: float = 1.0
+
+    @property
+    def benefit(self):
+        return self.base_cost - self.new_cost
+
+    @property
+    def speedup(self):
+        return self.base_cost / self.new_cost if self.new_cost > 0 else float("inf")
+
+    @property
+    def improvement_pct(self):
+        if self.base_cost <= 0:
+            return 0.0
+        return 100.0 * self.benefit / self.base_cost
+
+
+@dataclass
+class WhatIfReport:
+    """Workload-level what-if comparison (the demo's benefit panels)."""
+
+    configuration: Configuration
+    per_query: list = field(default_factory=list)
+
+    @property
+    def base_total(self):
+        return sum(b.weight * b.base_cost for b in self.per_query)
+
+    @property
+    def new_total(self):
+        return sum(b.weight * b.new_cost for b in self.per_query)
+
+    @property
+    def total_benefit(self):
+        return self.base_total - self.new_total
+
+    @property
+    def average_improvement_pct(self):
+        if self.base_total <= 0:
+            return 0.0
+        return 100.0 * self.total_benefit / self.base_total
+
+    def to_text(self, max_rows=20):
+        lines = [
+            "What-if evaluation of:",
+            _indent(self.configuration.describe()),
+            "",
+            "%-6s %12s %12s %9s  %s" % ("query", "base", "new", "gain%", "sql"),
+        ]
+        for i, b in enumerate(self.per_query[:max_rows]):
+            lines.append(
+                "q%-5d %12.1f %12.1f %8.1f%%  %s"
+                % (i, b.base_cost, b.new_cost, b.improvement_pct, _clip(b.sql))
+            )
+        if len(self.per_query) > max_rows:
+            lines.append("... (%d more queries)" % (len(self.per_query) - max_rows))
+        lines.append(
+            "workload: base=%.1f new=%.1f improvement=%.1f%%"
+            % (self.base_total, self.new_total, self.average_improvement_pct)
+        )
+        return "\n".join(lines)
+
+
+def _indent(text):
+    return "\n".join("  " + line for line in text.splitlines())
+
+
+def _clip(sql, limit=60):
+    return sql if len(sql) <= limit else sql[: limit - 3] + "..."
+
+
+class WhatIfSession:
+    """Cost evaluation under hypothetical configurations.
+
+    Caches one :class:`CostService` per distinct configuration, so repeated
+    probes of the same design (COLT does many) cost nothing extra beyond
+    the underlying plan cache.
+    """
+
+    def __init__(self, catalog, settings=None):
+        self.catalog = catalog
+        self.base_service = CostService(catalog, settings)
+        self._services = {Configuration.empty(): self.base_service}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def optimizer_calls(self):
+        return self.base_service.optimizer_calls
+
+    def service_for(self, config):
+        """CostService seeing *config* overlaid on the base catalog."""
+        svc = self._services.get(config)
+        if svc is None:
+            svc = self.base_service.with_catalog(config.apply(self.catalog))
+            self._services[config] = svc
+        return svc
+
+    def with_join_methods(self, **enable_flags):
+        """What-if join control: a session whose optimizer has the given
+        ``enable_*`` flags overridden (e.g. ``enable_hashjoin=False``)."""
+        settings = self.base_service.settings.with_changes(**enable_flags)
+        return WhatIfSession(self.catalog, settings)
+
+    # ------------------------------------------------------------------
+
+    def cost(self, query, config=None):
+        config = config or Configuration.empty()
+        return self.service_for(config).cost(query)
+
+    def plan(self, query, config=None):
+        config = config or Configuration.empty()
+        return self.service_for(config).plan(query)
+
+    def workload_cost(self, workload, config=None):
+        config = config or Configuration.empty()
+        return self.service_for(config).workload_cost(workload)
+
+    def evaluate(self, workload, config):
+        """Full what-if comparison: base design vs *config* (Scenario 1)."""
+        report = WhatIfReport(configuration=config)
+        new_service = self.service_for(config)
+        for query, weight in _pairs(workload):
+            bq = self.base_service.bound(query)
+            report.per_query.append(
+                QueryBenefit(
+                    sql=bq.sql,
+                    base_cost=self.base_service.cost(bq),
+                    new_cost=new_service.cost(bq),
+                    weight=weight,
+                )
+            )
+        return report
+
+    def benefit(self, workload, config):
+        """Workload benefit of *config* over the base design."""
+        return self.workload_cost(workload) - self.workload_cost(workload, config)
+
+
+def _pairs(workload):
+    for entry in workload:
+        if isinstance(entry, tuple) and len(entry) == 2:
+            yield entry
+        else:
+            yield entry, 1.0

@@ -1,0 +1,24 @@
+"""Workload substrate: schemas and seeded query generators.
+
+* :mod:`repro.workloads.sdss` — the SDSS-like scientific schema and
+  astronomy query mix the demo runs on,
+* :mod:`repro.workloads.tpch` — a TPC-H-lite decision-support mix used to
+  show the designer is not SDSS-specific,
+* :mod:`repro.workloads.drift` — a phase-shifting query stream for the
+  continuous-tuning scenario.
+"""
+
+from repro.workloads.workload import Workload
+from repro.workloads.sdss import sdss_catalog, sdss_workload
+from repro.workloads.tpch import tpch_catalog, tpch_workload
+from repro.workloads.drift import DriftPhase, drifting_stream
+
+__all__ = [
+    "Workload",
+    "sdss_catalog",
+    "sdss_workload",
+    "tpch_catalog",
+    "tpch_workload",
+    "DriftPhase",
+    "drifting_stream",
+]

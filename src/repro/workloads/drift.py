@@ -1,0 +1,59 @@
+"""Drifting workload streams for the continuous-tuning scenario.
+
+Scenario 3 needs "queries running on a database [that] evolve over time":
+the stream moves through phases, each drawing from a different template
+mix, so a design tuned for phase 1 turns stale in phase 2 — exactly the
+situation COLT is built to detect.
+"""
+
+import random
+from dataclasses import dataclass
+
+from repro.workloads import sdss
+
+
+@dataclass(frozen=True)
+class DriftPhase:
+    """One stretch of the stream: ``length`` queries from ``templates``."""
+
+    name: str
+    length: int
+    templates: tuple  # ((maker, weight), ...)
+
+
+def default_phases(length=200):
+    """Three-phase astronomy drift: positional -> photometric -> spectral.
+
+    Each phase is dominated by predicates on different columns, so the
+    index set that helps one phase is nearly useless for the next.
+    """
+    positional = (
+        (sdss._cone_search, 0.8),
+        (sdss._neighbor_search, 0.2),
+    )
+    photometric = (
+        (sdss._magnitude_cut, 0.55),
+        (sdss._color_cut, 0.30),
+        (sdss._type_histogram, 0.15),
+    )
+    spectral = (
+        (sdss._photo_spec_join, 0.5),
+        (sdss._spec_quality_join, 0.3),
+        (sdss._recent_plates, 0.2),
+    )
+    return (
+        DriftPhase("positional", length, positional),
+        DriftPhase("photometric", length, photometric),
+        DriftPhase("spectral", length, spectral),
+    )
+
+
+def drifting_stream(phases=None, seed=11):
+    """Yield ``(phase_name, sql)`` pairs for the whole stream."""
+    rng = random.Random(seed)
+    for phase in phases or default_phases():
+        makers = [t for t, __ in phase.templates]
+        weights = [w for __, w in phase.templates]
+        for __ in range(phase.length):
+            maker = rng.choices(makers, weights=weights, k=1)[0]
+            yield phase.name, maker(rng)

@@ -1,0 +1,154 @@
+"""Tests for the AutoPart partition advisor and query rewriting."""
+
+import pytest
+
+from repro.autopart import AutoPartAdvisor, rewrite_for_layout
+from repro.catalog import VerticalFragment, VerticalLayout
+from repro.optimizer import CostService
+from repro.util import DesignError
+
+# Queries touching small, distinct column subsets of the wide table —
+# AutoPart's sweet spot.
+WORKLOAD = [
+    ("SELECT ra, dec FROM photoobj WHERE ra BETWEEN 10 AND 30", 1.0),
+    ("SELECT rmag, gmag FROM photoobj WHERE rmag < 20", 1.0),
+    ("SELECT ra, dec FROM photoobj WHERE dec > 50", 1.0),
+    ("SELECT z FROM specobj WHERE z BETWEEN 1 AND 2", 1.0),
+]
+
+
+@pytest.fixture
+def advisor(sdss_catalog):
+    return AutoPartAdvisor(sdss_catalog)
+
+
+class TestVerticalRecommendation:
+    def test_layout_improves_workload(self, advisor):
+        rec = advisor.recommend(WORKLOAD, horizontal=False)
+        assert rec.predicted_workload_cost < rec.base_workload_cost
+        assert "photoobj" in rec.layouts
+
+    def test_layout_covers_all_columns(self, advisor, sdss_catalog):
+        rec = advisor.recommend(WORKLOAD, horizontal=False)
+        for layout in rec.configuration.layouts:
+            layout.validate_covers(sdss_catalog.table(layout.table_name))
+
+    def test_hot_columns_grouped(self, advisor):
+        rec = advisor.recommend(WORKLOAD, horizontal=False)
+        layout = rec.layouts["photoobj"]
+        frag_of = {}
+        for frag in layout.fragments:
+            for col in frag.columns:
+                frag_of[col] = frag
+        # ra and dec are always read together.
+        assert frag_of["ra"] is frag_of["dec"]
+        # cold columns do not share the hot fragment
+        assert frag_of["flags"] is not frag_of["ra"]
+
+    def test_predicted_cost_close_to_optimizer(self, advisor, sdss_catalog):
+        rec = advisor.recommend(WORKLOAD, horizontal=False)
+        real = CostService(rec.configuration.apply(sdss_catalog)).workload_cost(
+            WORKLOAD
+        )
+        assert rec.predicted_workload_cost == pytest.approx(real, rel=0.05)
+
+    def test_replication_budget_respected(self, advisor, sdss_catalog):
+        rec = advisor.recommend(
+            WORKLOAD, replication_budget_pages=100_000, horizontal=False
+        )
+        extra = sum(
+            l.replication_pages(sdss_catalog.table(l.table_name))
+            for l in rec.configuration.layouts
+        )
+        assert extra <= 100_000
+
+
+class TestHorizontalRecommendation:
+    def test_range_partitioning_suggested(self, advisor):
+        rec = advisor.recommend(WORKLOAD, vertical=False, horizontal=True)
+        assert rec.horizontals  # predicates on ra/dec/z allow pruning
+        for horizontal in rec.configuration.horizontals:
+            assert horizontal.partition_count >= 2
+
+    def test_partitioning_improves_cost(self, advisor):
+        rec = advisor.recommend(WORKLOAD, vertical=False, horizontal=True)
+        assert rec.predicted_workload_cost < rec.base_workload_cost
+
+
+class TestRecommendationOutput:
+    def test_per_query_benefits_reported(self, advisor):
+        rec = advisor.recommend(WORKLOAD)
+        assert len(rec.per_query) == len(WORKLOAD)
+        for __, base, new in rec.per_query:
+            assert new <= base + 1e-6
+
+    def test_text_rendering(self, advisor):
+        rec = advisor.recommend(WORKLOAD)
+        text = rec.to_text()
+        assert "Suggested partitions" in text and "workload:" in text
+
+    def test_empty_workload_rejected(self, advisor):
+        with pytest.raises(DesignError):
+            advisor.recommend([])
+
+    def test_negative_budget_rejected(self, advisor):
+        with pytest.raises(DesignError):
+            advisor.recommend(WORKLOAD, replication_budget_pages=-1)
+
+
+class TestQueryRewriting:
+    def make_layout(self):
+        return VerticalLayout(
+            "photoobj",
+            (
+                VerticalFragment("photoobj", ("objid", "ra", "dec")),
+                VerticalFragment(
+                    "photoobj",
+                    ("rmag", "gmag", "type", "flags", "status"),
+                ),
+            ),
+        )
+
+    def test_single_fragment_query(self, sdss_catalog):
+        sql = "SELECT ra, dec FROM photoobj WHERE ra < 100"
+        rewritten = rewrite_for_layout(
+            sql, sdss_catalog, {"photoobj": self.make_layout()}
+        )
+        assert "photoobj__objid_ra_dec" in rewritten
+        assert "rid" not in rewritten  # one fragment: no stitch join
+
+    def test_spanning_query_stitches(self, sdss_catalog):
+        sql = "SELECT ra, rmag FROM photoobj WHERE dec > 0"
+        rewritten = rewrite_for_layout(
+            sql, sdss_catalog, {"photoobj": self.make_layout()}
+        )
+        assert ".rid = " in rewritten
+        assert rewritten.count("photoobj__") >= 2
+
+    def test_join_query_keeps_other_table(self, sdss_catalog):
+        sql = (
+            "SELECT p.ra, s.z FROM photoobj p, specobj s "
+            "WHERE p.objid = s.objid AND s.z > 6"
+        )
+        rewritten = rewrite_for_layout(
+            sql, sdss_catalog, {"photoobj": self.make_layout()}
+        )
+        assert "specobj s" in rewritten
+        assert "= s.objid" in rewritten or "s.objid =" in rewritten
+
+    def test_group_order_limit_preserved(self, sdss_catalog):
+        sql = (
+            "SELECT type, COUNT(*) FROM photoobj WHERE rmag < 20 "
+            "GROUP BY type ORDER BY type LIMIT 3"
+        )
+        rewritten = rewrite_for_layout(
+            sql, sdss_catalog, {"photoobj": self.make_layout()}
+        )
+        assert "GROUP BY" in rewritten and "LIMIT 3" in rewritten
+
+    def test_table_without_layout_untouched(self, sdss_catalog):
+        sql = "SELECT z FROM specobj WHERE z > 1"
+        rewritten = rewrite_for_layout(
+            sql, sdss_catalog, {"photoobj": self.make_layout()}
+        )
+        assert "specobj" in rewritten and "__" not in rewritten

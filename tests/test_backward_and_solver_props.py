@@ -1,0 +1,140 @@
+"""Backward index scans, plus property-based tests of the BIP solvers on
+randomly generated problem instances."""
+
+import math
+
+import pytest
+from hypothesis import given, settings as hsettings
+from hypothesis import strategies as st
+
+from repro.catalog import Index
+from repro.cophy.bip import BipProblem, PlanTerm, QueryTerm, SlotOptions
+from repro.cophy.greedy import greedy_select
+from repro.cophy.solvers import solve_bip, solve_branch_and_bound, solve_lp_rounding
+from repro.data import generate_database
+from repro.executor import run_query
+from repro.inum import InumCostModel
+from repro.optimizer import CostService
+from repro.whatif import Configuration
+
+
+class TestBackwardScans:
+    DESC_SQL = "SELECT ra FROM photoobj WHERE ra < 300 ORDER BY ra DESC LIMIT 5"
+
+    def test_desc_order_uses_backward_scan(self, sdss_with_indexes):
+        plan = CostService(sdss_with_indexes).plan(self.DESC_SQL)
+        kinds = [n.node_type for n in plan.walk()]
+        assert "Sort" not in kinds
+        assert any(getattr(n, "backward", False) for n in plan.walk())
+
+    def test_backward_beats_sort_for_limit(self, sdss_catalog, sdss_with_indexes):
+        with_ix = CostService(sdss_with_indexes).cost(self.DESC_SQL)
+        without = CostService(sdss_catalog).cost(self.DESC_SQL)
+        assert with_ix < without / 100
+
+    def test_inum_exact_on_desc_queries(self, sdss_catalog):
+        config = Configuration.of(Index("photoobj", ("ra",)))
+        inum = InumCostModel(sdss_catalog)
+        real = CostService(config.apply(sdss_catalog)).cost(self.DESC_SQL)
+        assert inum.cost(self.DESC_SQL, config) == pytest.approx(real, rel=0.02)
+
+    def test_executor_returns_descending_rows(self):
+        from tests.test_executor import exec_catalog
+
+        catalog = exec_catalog(rows=1500)
+        indexed = catalog.clone()
+        indexed.add_index(Index("t", ("a",)))
+        database = generate_database(catalog, seed=6)
+        sql = "SELECT a FROM t WHERE a > 5 ORDER BY a DESC"
+        plan, rows = run_query(sql, indexed, database)
+        values = [r[0] for r in rows]
+        assert values == sorted(values, reverse=True)
+        __, expected = run_query(sql, catalog, database)
+        assert sorted(map(repr, rows)) == sorted(map(repr, expected))
+
+
+# ----------------------------------------------------------------------
+# Random BIP instances.
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def bip_instances(draw):
+    n_candidates = draw(st.integers(1, 5))
+    candidates = [Index("t", ("c%d" % i,)) for i in range(n_candidates)]
+    sizes = [float(draw(st.integers(1, 20))) for __ in range(n_candidates)]
+    budget = float(draw(st.integers(0, 40)))
+    problem = BipProblem(
+        candidates=candidates,
+        sizes=sizes,
+        budget_pages=budget,
+        index_penalties=[
+            float(draw(st.integers(0, 30))) for __ in range(n_candidates)
+        ],
+    )
+    n_queries = draw(st.integers(1, 4))
+    for __ in range(n_queries):
+        n_plans = draw(st.integers(1, 2))
+        term = QueryTerm(weight=float(draw(st.integers(1, 3))), plans=[])
+        for __ in range(n_plans):
+            plan = PlanTerm(
+                internal_cost=float(draw(st.integers(0, 50))), slots=[]
+            )
+            n_slots = draw(st.integers(1, 2))
+            for __ in range(n_slots):
+                options = [(-1, float(draw(st.integers(50, 200))))]
+                for pos in range(n_candidates):
+                    if draw(st.booleans()):
+                        options.append((pos, float(draw(st.integers(1, 100)))))
+                plan.slots.append(SlotOptions(options=options))
+            term.plans.append(plan)
+        problem.queries.append(term)
+    return problem
+
+
+class TestSolverProperties:
+    @given(problem=bip_instances())
+    @hsettings(max_examples=40, deadline=None)
+    def test_milp_feasible_and_dominates_greedy(self, problem):
+        milp = solve_bip(problem)
+        greedy = greedy_select(problem)
+        assert problem.config_size(milp.chosen_positions) <= problem.budget_pages
+        assert milp.objective <= greedy.objective + 1e-6
+        assert milp.objective <= problem.config_cost(()) + 1e-6
+
+    @given(problem=bip_instances())
+    @hsettings(max_examples=25, deadline=None)
+    def test_branch_and_bound_matches_milp(self, problem):
+        milp = solve_bip(problem)
+        bnb = solve_branch_and_bound(problem, max_nodes=600)
+        assert bnb.objective == pytest.approx(milp.objective, rel=1e-6, abs=1e-6)
+
+    @given(problem=bip_instances())
+    @hsettings(max_examples=25, deadline=None)
+    def test_lp_rounding_feasible(self, problem):
+        rounded = solve_lp_rounding(problem)
+        assert problem.config_size(rounded.chosen_positions) <= problem.budget_pages
+        assert math.isfinite(rounded.objective)
+
+    @given(problem=bip_instances())
+    @hsettings(max_examples=25, deadline=None)
+    def test_lower_bound_sound(self, problem):
+        milp = solve_bip(problem)
+        assert milp.lower_bound <= milp.objective + 1e-6
+
+    @given(problem=bip_instances(), data=st.data())
+    @hsettings(max_examples=25, deadline=None)
+    def test_config_cost_monotone_in_options(self, problem, data):
+        """Adding an index to a chosen set never increases config_cost
+        beyond its own penalty."""
+        n = problem.n_candidates
+        chosen = [
+            pos for pos in range(n) if data.draw(st.booleans())
+        ]
+        base = problem.config_cost(chosen)
+        for extra in range(n):
+            if extra in chosen:
+                continue
+            enlarged = problem.config_cost(chosen + [extra])
+            penalty = problem.index_penalties[extra]
+            assert enlarged <= base + penalty + 1e-6

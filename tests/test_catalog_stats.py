@@ -1,0 +1,170 @@
+"""Unit tests for ColumnStats: synthetic construction, fractions, ANALYZE."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.stats import ColumnStats, Distribution, analyze_values
+
+
+class TestSyntheticUniform:
+    def setup_method(self):
+        dist = Distribution(kind="uniform", low=0.0, high=100.0)
+        self.stats = ColumnStats.synthetic(10_000, dist, avg_width=8)
+
+    def test_range_fraction_matches_uniform(self):
+        assert self.stats.range_fraction(10, 20) == pytest.approx(0.1, abs=0.02)
+
+    def test_fraction_below_endpoints(self):
+        assert self.stats.fraction_below(0) == pytest.approx(0.0, abs=0.01)
+        assert self.stats.fraction_below(100) == pytest.approx(1.0, abs=0.01)
+
+    def test_out_of_range_value_has_zero_eq_fraction(self):
+        assert self.stats.eq_fraction(500.0) == 0.0
+
+    def test_eq_fraction_is_one_over_distinct(self):
+        expected = 1.0 / self.stats.n_distinct
+        assert self.stats.eq_fraction(50.0) == pytest.approx(expected, rel=0.01)
+
+
+class TestSyntheticNormal:
+    def setup_method(self):
+        dist = Distribution(kind="normal", mu=20.0, sigma=2.0)
+        self.stats = ColumnStats.synthetic(100_000, dist, avg_width=4)
+
+    def test_median_splits_mass(self):
+        assert self.stats.fraction_below(20.0) == pytest.approx(0.5, abs=0.02)
+
+    def test_one_sigma_below(self):
+        # P(X < mu - sigma) = 0.1587
+        assert self.stats.fraction_below(18.0) == pytest.approx(0.1587, abs=0.02)
+
+
+class TestSyntheticZipf:
+    def setup_method(self):
+        dist = Distribution(kind="zipf", n_values=100, s=1.2)
+        self.stats = ColumnStats.synthetic(1_000_000, dist, avg_width=4)
+
+    def test_top_value_dominates(self):
+        assert self.stats.eq_fraction(1) > self.stats.eq_fraction(2) > self.stats.eq_fraction(3)
+
+    def test_frequencies_sum_below_one(self):
+        total = sum(self.stats.eq_fraction(v) for v in range(1, 101))
+        assert total <= 1.0 + 1e-6
+
+    def test_mcvs_populated(self):
+        assert len(self.stats.mcv_values) == 10
+
+
+class TestSyntheticSequence:
+    def test_sequence_is_perfectly_correlated(self):
+        stats = ColumnStats.synthetic(5000, Distribution(kind="sequence"), avg_width=8)
+        assert stats.correlation == 1.0
+        assert stats.n_distinct == 5000
+
+    def test_sequence_range_fraction(self):
+        stats = ColumnStats.synthetic(1000, Distribution(kind="sequence"), avg_width=8)
+        assert stats.range_fraction(100, 200) == pytest.approx(0.1, abs=0.02)
+
+
+class TestSyntheticCategorical:
+    def test_categorical_mcvs(self):
+        dist = Distribution(
+            kind="categorical", values=("a", "b", "c"), probs=(0.7, 0.2, 0.1)
+        )
+        stats = ColumnStats.synthetic(1000, dist, avg_width=2)
+        assert stats.eq_fraction("a") == pytest.approx(0.7)
+        assert stats.eq_fraction("b") == pytest.approx(0.2)
+        assert stats.n_distinct == 3
+
+
+class TestAnalyzeValues:
+    def test_basic_counts(self):
+        stats = analyze_values([1, 2, 2, 3, 3, 3, None, None])
+        assert stats.null_frac == pytest.approx(0.25)
+        assert stats.n_distinct == 3
+        assert stats.min_value == 1
+        assert stats.max_value == 3
+
+    def test_sorted_input_has_high_correlation(self):
+        stats = analyze_values(list(range(1000)))
+        assert stats.correlation == pytest.approx(1.0, abs=1e-6)
+
+    def test_reversed_input_has_negative_correlation(self):
+        stats = analyze_values(list(range(1000, 0, -1)))
+        assert stats.correlation == pytest.approx(-1.0, abs=1e-6)
+
+    def test_mcv_detection(self):
+        values = [7] * 500 + list(range(1000))
+        stats = analyze_values(values)
+        assert 7 in stats.mcv_values
+        assert stats.eq_fraction(7) == pytest.approx(500 / 1500, rel=0.05)
+
+    def test_range_fraction_tracks_data(self):
+        values = list(range(1000))
+        stats = analyze_values(values)
+        actual = sum(1 for v in values if 100 <= v <= 300) / len(values)
+        assert stats.range_fraction(100, 300) == pytest.approx(actual, abs=0.03)
+
+    def test_empty_and_all_null(self):
+        assert analyze_values([]).n_distinct == 1.0
+        stats = analyze_values([None, None])
+        assert stats.null_frac == 1.0
+
+    def test_string_values(self):
+        stats = analyze_values(["apple", "banana", "cherry", "apple"])
+        assert stats.min_value == "apple"
+        assert stats.max_value == "cherry"
+
+
+class TestStatsInvariants:
+    @given(
+        low=st.floats(-1e6, 1e6),
+        span=st.floats(0.001, 1e6),
+        a=st.floats(0, 1),
+        b=st.floats(0, 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fraction_below_is_monotone(self, low, span, a, b):
+        stats = ColumnStats.synthetic(
+            10_000, Distribution(kind="uniform", low=low, high=low + span), avg_width=8
+        )
+        va, vb = low + a * span, low + b * span
+        if va > vb:
+            va, vb = vb, va
+        assert stats.fraction_below(va) <= stats.fraction_below(vb) + 1e-9
+
+    @given(st.lists(st.one_of(st.integers(-50, 50), st.none()), max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_analyze_never_produces_invalid_fractions(self, values):
+        stats = analyze_values(values)
+        assert 0.0 <= stats.null_frac <= 1.0
+        assert -1.0 <= stats.correlation <= 1.0
+        assert stats.n_distinct >= 1.0
+        for probe in (-100, 0, 100):
+            assert 0.0 <= stats.eq_fraction(probe) <= 1.0
+            assert 0.0 <= stats.fraction_below(probe) <= 1.0
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=50, max_size=500))
+    @settings(max_examples=60, deadline=None)
+    def test_analyzed_range_fraction_close_to_truth(self, values):
+        stats = analyze_values(values)
+        lo, hi = -200, 200
+        actual = sum(1 for v in values if lo <= v <= hi) / len(values)
+        assert stats.range_fraction(lo, hi) == pytest.approx(actual, abs=0.25)
+
+
+class TestDistributionValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Distribution(kind="bogus")
+
+    def test_null_frac_range_enforced(self):
+        with pytest.raises(ValueError):
+            Distribution(kind="uniform", null_frac=1.5)
+
+    def test_mcv_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnStats(mcv_values=[1], mcv_freqs=[])

@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.designer.cli import main, parse_index_spec
+from repro.util import ReproError
+
+FAST = ["--scale", "0.01", "--queries", "6", "--seed", "1"]
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestIndexSpecParsing:
+    def test_single_column(self):
+        ix = parse_index_spec("photoobj:ra")
+        assert ix.table_name == "photoobj" and ix.columns == ("ra",)
+
+    def test_multi_column(self):
+        ix = parse_index_spec("photoobj:ra,dec")
+        assert ix.columns == ("ra", "dec")
+
+    def test_whitespace_tolerated(self):
+        ix = parse_index_spec(" photoobj : ra , dec ")
+        assert ix.table_name == "photoobj" and ix.columns == ("ra", "dec")
+
+    @pytest.mark.parametrize("bad", ["photoobj", "photoobj:", ":ra", "a:,,"])
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(ReproError):
+            parse_index_spec(bad)
+
+
+class TestCommands:
+    def test_describe(self):
+        code, text = run_cli(FAST + ["describe"])
+        assert code == 0
+        assert "photoobj" in text and "Workload" in text
+
+    def test_describe_tpch(self):
+        code, text = run_cli(["--workload", "tpch"] + FAST[0:4] + ["describe"])
+        assert code == 0
+        assert "lineitem" in text
+
+    def test_evaluate(self):
+        code, text = run_cli(
+            FAST + ["evaluate", "--indexes", "photoobj:ra,dec", "photoobj:ra"]
+        )
+        assert code == 0
+        assert "What-if evaluation" in text
+        assert "interaction" in text.lower()
+
+    def test_evaluate_bad_spec_is_reported(self):
+        code, text = run_cli(FAST + ["evaluate", "--indexes", "nope"])
+        assert code == 2
+        assert "error:" in text
+
+    def test_evaluate_unknown_table_is_reported(self):
+        code, text = run_cli(FAST + ["evaluate", "--indexes", "ghost:ra"])
+        assert code == 2
+        assert "error:" in text
+
+    def test_recommend(self):
+        code, text = run_cli(
+            FAST + ["recommend", "--budget-frac", "0.2", "--solver", "greedy",
+                    "--no-partitions"]
+        )
+        assert code == 0
+        assert "Recommended indexes" in text
+        assert "storage budget" in text
+
+    def test_explain(self):
+        code, text = run_cli(
+            FAST + ["explain", "--sql", "SELECT ra FROM photoobj WHERE ra < 5"]
+        )
+        assert code == 0
+        assert "cost=" in text
+
+    def test_online(self):
+        code, text = run_cli(
+            FAST + ["online", "--phase-length", "10", "--epoch", "5"]
+        )
+        assert code == 0
+        assert "epoch" in text and "saved" in text
+
+    def test_online_alert_only(self):
+        code, text = run_cli(
+            FAST + ["online", "--phase-length", "10", "--epoch", "5",
+                    "--no-adopt"]
+        )
+        assert code == 0

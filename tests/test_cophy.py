@@ -1,0 +1,176 @@
+"""Tests for CoPhy: candidates, BIP construction, solvers, advisor."""
+
+import pytest
+
+from repro.catalog import Index
+from repro.cophy import (
+    CoPhyAdvisor,
+    build_bip,
+    candidate_indexes,
+    greedy_select,
+    solve_bip,
+    solve_branch_and_bound,
+    solve_lp_rounding,
+)
+from repro.inum import InumCostModel
+from repro.optimizer import CostService
+from repro.util import DesignError
+
+WORKLOAD = [
+    ("SELECT ra, dec FROM photoobj WHERE ra BETWEEN 10 AND 12", 1.0),
+    ("SELECT rmag FROM photoobj WHERE rmag < 15 AND type = 1", 1.0),
+    ("SELECT p.ra, s.z FROM photoobj p, specobj s "
+     "WHERE p.objid = s.objid AND s.z > 6.5", 1.0),
+    ("SELECT ra FROM photoobj WHERE dec > 85 ORDER BY ra LIMIT 5", 1.0),
+]
+
+
+@pytest.fixture
+def inum(sdss_catalog):
+    return InumCostModel(sdss_catalog)
+
+
+@pytest.fixture
+def problem(sdss_catalog, inum):
+    candidates = candidate_indexes(sdss_catalog, WORKLOAD, max_candidates=14)
+    budget = sum(
+        ix.size_pages(sdss_catalog.table(ix.table_name)) for ix in candidates
+    ) // 3
+    return build_bip(inum, WORKLOAD, candidates, budget)
+
+
+class TestCandidateGeneration:
+    def test_filter_columns_become_candidates(self, sdss_catalog):
+        cands = candidate_indexes(sdss_catalog, WORKLOAD)
+        assert Index("photoobj", ("ra",)) in cands
+        assert Index("specobj", ("z",)) in cands
+
+    def test_join_columns_become_candidates(self, sdss_catalog):
+        cands = candidate_indexes(sdss_catalog, WORKLOAD)
+        assert Index("photoobj", ("objid",)) in cands
+        assert Index("specobj", ("objid",)) in cands
+
+    def test_composites_for_eq_plus_range(self, sdss_catalog):
+        cands = candidate_indexes(sdss_catalog, WORKLOAD)
+        assert Index("photoobj", ("type", "rmag")) in cands
+
+    def test_cap_respected(self, sdss_catalog):
+        assert len(candidate_indexes(sdss_catalog, WORKLOAD, max_candidates=5)) == 5
+
+    def test_weights_affect_ranking(self, sdss_catalog):
+        heavy = [("SELECT zerr FROM specobj WHERE zerr < 0.001", 100.0)]
+        cands = candidate_indexes(sdss_catalog, heavy + WORKLOAD, max_candidates=3)
+        assert any(ix.columns[0] == "zerr" for ix in cands)
+
+
+class TestBipProblem:
+    def test_empty_config_cost_is_base(self, problem, inum):
+        base = inum.workload_cost(WORKLOAD)
+        assert problem.config_cost(()) == pytest.approx(base, rel=1e-6)
+
+    def test_config_cost_matches_inum(self, problem, inum):
+        from repro.whatif import Configuration
+
+        chosen = (0, 1)
+        config = Configuration.of(*(problem.candidates[p] for p in chosen))
+        assert problem.config_cost(chosen) == pytest.approx(
+            inum.workload_cost(WORKLOAD, config), rel=1e-6
+        )
+
+    def test_config_size_sums_pages(self, problem):
+        assert problem.config_size((0,)) == problem.sizes[0]
+        assert problem.config_size(()) == 0
+
+    def test_more_indexes_never_worse(self, problem):
+        all_pos = tuple(range(problem.n_candidates))
+        assert problem.config_cost(all_pos) <= problem.config_cost(()) + 1e-6
+
+
+class TestSolvers:
+    def test_milp_respects_budget(self, problem):
+        result = solve_bip(problem)
+        assert problem.config_size(result.chosen_positions) <= problem.budget_pages
+
+    def test_milp_no_worse_than_greedy(self, problem):
+        milp = solve_bip(problem)
+        greedy = greedy_select(problem)
+        assert milp.objective <= greedy.objective + 1e-6
+
+    def test_milp_objective_is_true_cost(self, problem):
+        result = solve_bip(problem)
+        assert result.objective == pytest.approx(
+            problem.config_cost(result.chosen_positions)
+        )
+
+    def test_lower_bound_sound(self, problem):
+        result = solve_bip(problem)
+        assert result.lower_bound <= result.objective + 1e-6
+
+    def test_branch_and_bound_matches_milp(self, problem):
+        milp = solve_bip(problem)
+        bnb = solve_branch_and_bound(problem, max_nodes=800)
+        assert bnb.objective == pytest.approx(milp.objective, rel=0.01)
+
+    def test_lp_rounding_feasible(self, problem):
+        result = solve_lp_rounding(problem)
+        assert problem.config_size(result.chosen_positions) <= problem.budget_pages
+        assert result.objective <= problem.config_cost(()) + 1e-6
+
+    def test_greedy_improves_over_empty(self, problem):
+        result = greedy_select(problem)
+        assert result.objective <= problem.config_cost(()) + 1e-6
+
+    def test_zero_budget_selects_nothing(self, sdss_catalog, inum):
+        cands = candidate_indexes(sdss_catalog, WORKLOAD, max_candidates=8)
+        problem = build_bip(inum, WORKLOAD, cands, budget_pages=0)
+        for solver in (solve_bip, greedy_select, solve_lp_rounding):
+            assert solver(problem).chosen_positions == ()
+
+
+class TestAdvisor:
+    def test_recommendation_fields(self, sdss_catalog):
+        advisor = CoPhyAdvisor(sdss_catalog)
+        rec = advisor.recommend(WORKLOAD, budget_pages=20_000, solver="milp")
+        assert rec.predicted_workload_cost <= rec.base_workload_cost
+        assert rec.size_pages <= rec.budget_pages
+        assert rec.improvement_pct >= 0
+        assert "CREATE INDEX" in rec.to_text() or "none" in rec.to_text()
+
+    def test_predicted_cost_matches_real_optimizer(self, sdss_catalog):
+        advisor = CoPhyAdvisor(sdss_catalog)
+        rec = advisor.recommend(WORKLOAD, budget_pages=20_000, solver="milp")
+        real = CostService(rec.configuration.apply(sdss_catalog)).workload_cost(
+            WORKLOAD
+        )
+        assert rec.predicted_workload_cost == pytest.approx(real, rel=0.02)
+
+    def test_unknown_solver_rejected(self, sdss_catalog):
+        with pytest.raises(DesignError, match="solver"):
+            CoPhyAdvisor(sdss_catalog).recommend(WORKLOAD, 1000, solver="magic")
+
+    def test_empty_workload_rejected(self, sdss_catalog):
+        with pytest.raises(DesignError, match="empty"):
+            CoPhyAdvisor(sdss_catalog).recommend([], 1000)
+
+    def test_negative_budget_rejected(self, sdss_catalog):
+        with pytest.raises(DesignError, match="budget"):
+            CoPhyAdvisor(sdss_catalog).recommend(WORKLOAD, -5)
+
+    def test_budget_sweep_monotone(self, sdss_catalog):
+        """Bigger budgets can only help — the CL-ILP experiment's backbone."""
+        advisor = CoPhyAdvisor(sdss_catalog)
+        costs = [
+            advisor.recommend(WORKLOAD, budget_pages=b, solver="milp"
+                              ).predicted_workload_cost
+            for b in (0, 2_000, 10_000, 50_000)
+        ]
+        for tighter, looser in zip(costs, costs[1:]):
+            assert looser <= tighter + 1e-6
+
+    def test_seeded_candidates_used(self, sdss_catalog):
+        designer_seed = Index("photoobj", ("dec", "ra"))
+        advisor = CoPhyAdvisor(sdss_catalog)
+        rec = advisor.recommend(
+            WORKLOAD, budget_pages=50_000, candidates=[designer_seed], solver="milp"
+        )
+        assert set(rec.indexes) <= {designer_seed}

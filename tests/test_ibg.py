@@ -1,0 +1,137 @@
+"""Tests for the Index Benefit Graph: correctness vs brute force."""
+
+import itertools
+
+import pytest
+
+from repro.catalog import Index
+from repro.interaction import IndexBenefitGraph, InteractionAnalyzer
+from repro.inum import InumCostModel
+from repro.whatif import Configuration
+
+WORKLOAD = [
+    ("SELECT ra, dec FROM photoobj WHERE ra BETWEEN 10 AND 12", 1.0),
+    ("SELECT ra, dec, rmag FROM photoobj WHERE ra BETWEEN 50 AND 51 AND dec > 0", 1.0),
+    ("SELECT p.ra, s.z FROM photoobj p, specobj s "
+     "WHERE p.objid = s.objid AND s.z > 6.8", 1.0),
+    ("SELECT rmag FROM photoobj WHERE rmag < 14 AND type = 2", 1.0),
+]
+
+CANDIDATES = [
+    Index("photoobj", ("ra",)),
+    Index("photoobj", ("ra", "dec")),
+    Index("specobj", ("z",)),
+    Index("photoobj", ("objid",)),
+    Index("photoobj", ("type", "rmag")),
+]
+
+
+@pytest.fixture(scope="module")
+def inum(request):
+    from tests.conftest import make_sdss_catalog
+
+    return InumCostModel(make_sdss_catalog())
+
+
+@pytest.fixture(scope="module")
+def ibg(inum):
+    def oracle(subset):
+        return inum.workload_cost_with_usage(
+            WORKLOAD, Configuration(indexes=frozenset(subset))
+        )
+
+    return IndexBenefitGraph.build(oracle, CANDIDATES)
+
+
+class TestConstruction:
+    def test_root_present(self, ibg):
+        assert frozenset(CANDIDATES) in ibg.nodes
+
+    def test_used_subset_of_node(self, ibg):
+        for subset, node in ibg.nodes.items():
+            assert node.used <= subset
+
+    def test_graph_collapses_unused_candidates(self, inum):
+        """Adding never-used candidates must not blow up the IBG: subsets
+        differing only in unused indexes share nodes via used-set closure."""
+        from repro.catalog import Index
+
+        padded = CANDIDATES + [
+            Index("photoobj", ("flags",)),
+            Index("photoobj", ("status",)),
+        ]
+
+        def oracle(subset):
+            return inum.workload_cost_with_usage(
+                WORKLOAD, Configuration(indexes=frozenset(subset))
+            )
+
+        graph = IndexBenefitGraph.build(oracle, padded)
+        assert graph.size <= 2 ** len(CANDIDATES) + len(padded)
+        assert graph.size < 2 ** len(padded) / 2
+
+    def test_build_evaluations_equal_nodes(self, ibg):
+        assert ibg.build_evaluations == ibg.size
+
+    def test_describe_renders(self, ibg):
+        text = ibg.describe()
+        assert "IBG with" in text and "used=" in text
+
+
+class TestCostOracle:
+    """The IBG's core guarantee: cost(X) for *any* X via traversal."""
+
+    def test_cost_matches_inum_on_every_subset(self, ibg, inum):
+        for r in range(len(CANDIDATES) + 1):
+            for combo in itertools.combinations(CANDIDATES, r):
+                direct = inum.workload_cost(
+                    WORKLOAD, Configuration(indexes=frozenset(combo))
+                )
+                assert ibg.cost(combo) == pytest.approx(direct, rel=1e-9), combo
+
+    def test_used_is_fixpoint(self, ibg):
+        for r in range(len(CANDIDATES) + 1):
+            for combo in itertools.combinations(CANDIDATES, r):
+                used = ibg.used(combo)
+                assert used <= frozenset(combo)
+                # Plans only read what exists; cost(used) == cost(X).
+                assert ibg.cost(used) == pytest.approx(ibg.cost(combo), rel=1e-9)
+
+    def test_benefit_consistency(self, ibg):
+        a = CANDIDATES[0]
+        assert ibg.benefit(a, ()) == pytest.approx(
+            ibg.cost(()) - ibg.cost((a,)), rel=1e-9
+        )
+
+    def test_monotone_costs(self, ibg):
+        assert ibg.cost(CANDIDATES) <= ibg.cost(()) + 1e-6
+
+
+class TestDoiViaIbg:
+    def test_matches_subset_enumeration(self, inum):
+        subsets = InteractionAnalyzer(inum, WORKLOAD, method="subsets")
+        via_ibg = InteractionAnalyzer(inum, WORKLOAD, method="ibg")
+        ra, ra_dec = CANDIDATES[0], CANDIDATES[1]
+        brute = subsets.doi(ra, ra_dec, CANDIDATES)
+        fast = via_ibg.doi(ra, ra_dec, CANDIDATES)
+        assert fast == pytest.approx(brute, rel=0.05)
+
+    def test_non_interacting_pair_zero_both_ways(self, inum):
+        via_ibg = InteractionAnalyzer(inum, WORKLOAD, method="ibg")
+        ra, z = CANDIDATES[0], CANDIDATES[2]
+        assert via_ibg.doi(ra, z, CANDIDATES) < 0.01
+
+    def test_graph_construction_with_ibg_method(self, inum):
+        analyzer = InteractionAnalyzer(inum, WORKLOAD, method="ibg")
+        graph = analyzer.interaction_graph(CANDIDATES)
+        assert graph.graph.has_edge("ix_photoobj_ra", "ix_photoobj_ra_dec")
+
+    def test_invalid_method_rejected(self, inum):
+        with pytest.raises(ValueError):
+            InteractionAnalyzer(inum, WORKLOAD, method="magic")
+
+    def test_ibg_cached_per_candidate_set(self, inum):
+        analyzer = InteractionAnalyzer(inum, WORKLOAD, method="ibg")
+        first = analyzer.ibg(CANDIDATES)
+        second = analyzer.ibg(list(reversed(CANDIDATES)))
+        assert first is second

@@ -1,0 +1,170 @@
+"""Stress tests: 3- and 4-way join planning and execution."""
+
+import math
+
+import pytest
+
+from repro.catalog import Catalog, Column, DataType, Distribution, Index, Table
+from repro.data import generate_database
+from repro.executor import run_query
+from repro.optimizer import CostService, PlannerSettings
+from repro.workloads import tpch_catalog
+
+
+def star_catalog(rows=800):
+    """A small star schema: fact + three dimensions."""
+    catalog = Catalog()
+    catalog.add_table(
+        Table(
+            "fact",
+            [
+                Column("fid", DataType.INT, Distribution(kind="sequence")),
+                Column("d1", DataType.INT,
+                       Distribution(kind="uniform_int", low=0, high=19)),
+                Column("d2", DataType.INT,
+                       Distribution(kind="uniform_int", low=0, high=14)),
+                Column("d3", DataType.INT,
+                       Distribution(kind="uniform_int", low=0, high=9)),
+                Column("m", DataType.DOUBLE,
+                       Distribution(kind="uniform", low=0.0, high=100.0)),
+            ],
+            row_count=rows,
+        ).build_stats()
+    )
+    for name, n in (("dim1", 20), ("dim2", 15), ("dim3", 10)):
+        catalog.add_table(
+            Table(
+                name,
+                [
+                    Column("id", DataType.INT, Distribution(kind="sequence")),
+                    Column("attr", DataType.INT,
+                           Distribution(kind="uniform_int", low=0, high=4)),
+                ],
+                row_count=n,
+            ).build_stats()
+        )
+    return catalog
+
+
+FOUR_WAY = (
+    "SELECT f.fid, a.attr, b.attr, c.attr "
+    "FROM fact f, dim1 a, dim2 b, dim3 c "
+    "WHERE f.d1 = a.id AND f.d2 = b.id AND f.d3 = c.id AND f.m < 25"
+)
+
+
+class TestPlanning:
+    def test_four_way_join_plans(self):
+        catalog = star_catalog()
+        plan = CostService(catalog).plan(FOUR_WAY)
+        joins = [n for n in plan.walk() if "Join" in n.node_type or n.node_type == "NestLoop"]
+        assert len(joins) == 3
+        assert math.isfinite(plan.total_cost)
+
+    def test_four_way_with_indexes_not_worse(self):
+        catalog = star_catalog()
+        indexed = catalog.clone()
+        for name in ("dim1", "dim2", "dim3"):
+            indexed.add_index(Index(name, ("id",)))
+        indexed.add_index(Index("fact", ("d1",)))
+        assert CostService(indexed).cost(FOUR_WAY) <= CostService(catalog).cost(
+            FOUR_WAY
+        ) + 1e-6
+
+    def test_tpch_three_way_join(self):
+        catalog = tpch_catalog(scale=0.01)
+        sql = (
+            "SELECT c.c_custkey, o.o_orderkey, l.l_quantity "
+            "FROM customer c, orders o, lineitem l "
+            "WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey "
+            "AND c.c_mktsegment = 2 AND l.l_shipdate < 500"
+        )
+        plan = CostService(catalog).plan(sql)
+        assert math.isfinite(plan.total_cost)
+
+    def test_join_order_independent_of_from_order(self):
+        """The DP must find the same best cost however FROM is written."""
+        catalog = star_catalog()
+        svc = CostService(catalog)
+        a = svc.cost(
+            "SELECT f.fid FROM fact f, dim1 a, dim2 b "
+            "WHERE f.d1 = a.id AND f.d2 = b.id"
+        )
+        b = svc.cost(
+            "SELECT f.fid FROM dim2 b, fact f, dim1 a "
+            "WHERE f.d2 = b.id AND f.d1 = a.id"
+        )
+        assert a == pytest.approx(b, rel=1e-9)
+
+
+class TestExecution:
+    @pytest.fixture(scope="class")
+    def env(self):
+        catalog = star_catalog(rows=400)
+        return catalog, generate_database(catalog, seed=2)
+
+    def test_four_way_results_match_across_designs(self, env):
+        catalog, database = env
+        indexed = catalog.clone()
+        for name in ("dim1", "dim2", "dim3"):
+            indexed.add_index(Index(name, ("id",)))
+        __, base = run_query(FOUR_WAY, catalog, database)
+        __, tuned = run_query(FOUR_WAY, indexed, database)
+        assert sorted(map(repr, base)) == sorted(map(repr, tuned))
+        assert base  # the join actually produces rows
+
+    def test_four_way_matches_forced_join_methods(self, env):
+        catalog, database = env
+        __, expected = run_query(FOUR_WAY, catalog, database)
+        for settings in (
+            PlannerSettings(enable_hashjoin=False),
+            PlannerSettings(enable_mergejoin=False, enable_nestloop=False),
+        ):
+            __, actual = run_query(FOUR_WAY, catalog, database, settings)
+            assert sorted(map(repr, actual)) == sorted(map(repr, expected))
+
+    def test_aggregate_over_four_way(self, env):
+        catalog, database = env
+        sql = (
+            "SELECT a.attr, COUNT(*) FROM fact f, dim1 a, dim2 b, dim3 c "
+            "WHERE f.d1 = a.id AND f.d2 = b.id AND f.d3 = c.id "
+            "GROUP BY a.attr ORDER BY a.attr"
+        )
+        __, rows = run_query(sql, catalog, database)
+        total = sum(count for __, count in rows)
+        __, flat = run_query(FOUR_WAY.replace(" AND f.m < 25", ""), catalog, database)
+        assert total == len(flat)
+
+
+class TestConfigurationSerialization:
+    def test_round_trip(self, sdss_catalog):
+        from repro.catalog.serialize import (
+            configuration_from_dict,
+            configuration_to_dict,
+        )
+        from repro.catalog import VerticalFragment, VerticalLayout
+        from repro.whatif import Configuration
+
+        config = Configuration(
+            indexes=frozenset([Index("photoobj", ("ra", "dec"))]),
+            layouts=(
+                VerticalLayout(
+                    "specobj",
+                    (
+                        VerticalFragment("specobj", ("specid", "z")),
+                        VerticalFragment(
+                            "specobj", ("objid", "zerr", "class")
+                        ),
+                    ),
+                ),
+            ),
+        )
+        restored = configuration_from_dict(configuration_to_dict(config))
+        assert restored == config
+
+    def test_version_check(self):
+        from repro.catalog.serialize import configuration_from_dict
+        from repro.util import CatalogError
+
+        with pytest.raises(CatalogError):
+            configuration_from_dict({"version": 0})

@@ -1,0 +1,107 @@
+"""Tests for catalog serialization: round trips and compatibility."""
+
+import json
+
+import pytest
+
+from repro.catalog import (
+    HorizontalPartitioning,
+    Index,
+    VerticalFragment,
+    VerticalLayout,
+)
+from repro.catalog.serialize import (
+    catalog_from_dict,
+    catalog_to_dict,
+    load_catalog,
+    save_catalog,
+)
+from repro.optimizer import CostService
+from repro.util import CatalogError
+from repro.workloads import sdss_catalog, sdss_workload, tpch_catalog
+
+
+def rich_catalog():
+    catalog = sdss_catalog(scale=0.02)
+    catalog.add_index(Index("photoobj", ("ra", "dec")))
+    catalog.add_index(Index("specobj", ("z",), include=("bestobjid",)))
+    catalog.set_vertical_layout(
+        VerticalLayout(
+            "specobj",
+            (
+                VerticalFragment("specobj", ("specid", "bestobjid", "z")),
+                VerticalFragment(
+                    "specobj",
+                    ("zerr", "zconf", "specclass", "plate", "mjd", "sn_median"),
+                ),
+            ),
+        )
+    )
+    catalog.set_horizontal_partitioning(
+        HorizontalPartitioning("photoobj", "ra", (90.0, 180.0, 270.0))
+    )
+    return catalog
+
+
+class TestRoundTrip:
+    def test_schema_preserved(self):
+        original = rich_catalog()
+        restored = catalog_from_dict(catalog_to_dict(original))
+        assert restored.table_names == original.table_names
+        for name in original.table_names:
+            a, b = original.table(name), restored.table(name)
+            assert a.row_count == b.row_count
+            assert a.column_names == b.column_names
+            assert a.row_width() == b.row_width()
+
+    def test_design_preserved(self):
+        original = rich_catalog()
+        restored = catalog_from_dict(catalog_to_dict(original))
+        assert set(ix.name for ix in restored.indexes) == set(
+            ix.name for ix in original.indexes
+        )
+        assert restored.vertical_layout("specobj") is not None
+        horizontal = restored.horizontal_partitioning("photoobj")
+        assert horizontal.bounds == (90.0, 180.0, 270.0)
+
+    def test_costs_identical_after_round_trip(self):
+        """The real contract: the optimizer sees the same database."""
+        original = rich_catalog()
+        restored = catalog_from_dict(catalog_to_dict(original))
+        workload = sdss_workload(n_queries=10, seed=4)
+        a = CostService(original).workload_cost(workload)
+        b = CostService(restored).workload_cost(workload)
+        assert a == pytest.approx(b, rel=1e-9)
+
+    def test_tpch_round_trip(self):
+        original = tpch_catalog(scale=0.01)
+        restored = catalog_from_dict(catalog_to_dict(original))
+        assert restored.table_names == original.table_names
+
+    def test_json_serializable(self):
+        payload = catalog_to_dict(rich_catalog())
+        text = json.dumps(payload)
+        assert catalog_from_dict(json.loads(text)).table_names
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        save_catalog(rich_catalog(), path)
+        restored = load_catalog(path)
+        assert restored.has_table("photoobj")
+        assert len(restored.indexes) == 2
+
+
+class TestValidation:
+    def test_unknown_version_rejected(self):
+        with pytest.raises(CatalogError, match="version"):
+            catalog_from_dict({"version": 99})
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(CatalogError):
+            catalog_from_dict({})
+
+    def test_stats_rebuilt_on_load(self):
+        restored = catalog_from_dict(catalog_to_dict(rich_catalog()))
+        stats = restored.table("photoobj").stats("ra")
+        assert stats.n_distinct > 1
+        assert stats.histogram

@@ -1,0 +1,129 @@
+"""Unit tests for the binder: resolution, normalization, error reporting."""
+
+import pytest
+
+from repro.sql import bind_sql
+from repro.util import BindError
+
+
+class TestResolution:
+    def test_qualified_and_unqualified(self, sdss_catalog):
+        q = bind_sql(
+            "SELECT p.ra, rmag FROM photoobj p WHERE dec > 0", sdss_catalog
+        )
+        assert q.select_columns == (("p", "ra"), ("p", "rmag"))
+        assert q.filters_for("p")[0].column == "dec"
+
+    def test_ambiguous_column_rejected(self, sdss_catalog):
+        with pytest.raises(BindError, match="ambiguous"):
+            bind_sql("SELECT objid FROM photoobj, specobj", sdss_catalog)
+
+    def test_unknown_column_rejected(self, sdss_catalog):
+        with pytest.raises(BindError, match="unknown column"):
+            bind_sql("SELECT nonexistent FROM photoobj", sdss_catalog)
+
+    def test_unknown_alias_rejected(self, sdss_catalog):
+        with pytest.raises(BindError, match="alias"):
+            bind_sql("SELECT zz.ra FROM photoobj p", sdss_catalog)
+
+    def test_duplicate_alias_rejected(self, sdss_catalog):
+        with pytest.raises(BindError, match="duplicate"):
+            bind_sql("SELECT p.ra FROM photoobj p, specobj p", sdss_catalog)
+
+    def test_unknown_table_rejected(self, sdss_catalog):
+        with pytest.raises(Exception, match="no table"):
+            bind_sql("SELECT * FROM nope", sdss_catalog)
+
+
+class TestJoinExtraction:
+    def test_equality_join_detected(self, sdss_catalog):
+        q = bind_sql(
+            "SELECT p.ra FROM photoobj p, specobj s WHERE p.objid = s.objid",
+            sdss_catalog,
+        )
+        assert len(q.joins) == 1
+        join = q.joins[0]
+        assert {join.left_alias, join.right_alias} == {"p", "s"}
+
+    def test_side_for(self, sdss_catalog):
+        q = bind_sql(
+            "SELECT p.ra FROM photoobj p, specobj s WHERE p.objid = s.objid",
+            sdss_catalog,
+        )
+        col, other, other_col = q.joins[0].side_for("p")
+        assert col == "objid" and other == "s" and other_col == "objid"
+
+    def test_non_equality_join_rejected(self, sdss_catalog):
+        with pytest.raises(BindError, match="equality"):
+            bind_sql(
+                "SELECT p.ra FROM photoobj p, specobj s WHERE p.objid < s.objid",
+                sdss_catalog,
+            )
+
+
+class TestFilterNormalization:
+    def test_between_becomes_range(self, sdss_catalog):
+        q = bind_sql(
+            "SELECT ra FROM photoobj WHERE ra BETWEEN 10 AND 20", sdss_catalog
+        )
+        f = q.filters_for("photoobj")[0]
+        assert f.kind == "range" and (f.low, f.high) == (10, 20)
+
+    def test_two_ranges_merged(self, sdss_catalog):
+        q = bind_sql(
+            "SELECT ra FROM photoobj WHERE ra > 10 AND ra <= 20", sdss_catalog
+        )
+        filters = q.filters_for("photoobj")
+        assert len(filters) == 1
+        f = filters[0]
+        assert (f.low, f.low_inclusive, f.high, f.high_inclusive) == (10, False, 20, True)
+
+    def test_contradictory_ranges_keep_tightest(self, sdss_catalog):
+        q = bind_sql(
+            "SELECT ra FROM photoobj WHERE ra > 100 AND ra < 50", sdss_catalog
+        )
+        f = q.filters_for("photoobj")[0]
+        assert f.low == 100 and f.high == 50  # empty range, estimator yields ~0
+
+    def test_null_comparison_rejected(self, sdss_catalog):
+        with pytest.raises(BindError, match="IS NULL"):
+            bind_sql("SELECT ra FROM photoobj WHERE ra = NULL", sdss_catalog)
+
+    def test_empty_in_rejected(self, sdss_catalog):
+        with pytest.raises(Exception):
+            bind_sql("SELECT ra FROM photoobj WHERE type IN ()", sdss_catalog)
+
+
+class TestReferencedColumns:
+    def test_all_sources_counted(self, sdss_catalog):
+        q = bind_sql(
+            "SELECT p.ra FROM photoobj p, specobj s "
+            "WHERE p.objid = s.objid AND p.rmag < 20 "
+            "GROUP BY p.ra ORDER BY p.ra",
+            sdss_catalog,
+        )
+        assert q.referenced_columns("p") == {"ra", "objid", "rmag"}
+        assert q.referenced_columns("s") == {"objid"}
+
+    def test_star_references_everything(self, sdss_catalog):
+        q = bind_sql("SELECT * FROM specobj", sdss_catalog)
+        assert q.referenced_columns("specobj") == {
+            "specid", "objid", "z", "zerr", "class",
+        }
+
+    def test_aggregate_arg_referenced(self, sdss_catalog):
+        q = bind_sql("SELECT avg(rmag) FROM photoobj", sdss_catalog)
+        assert q.referenced_columns("photoobj") == {"rmag"}
+
+
+class TestAggregateValidation:
+    def test_plain_column_without_group_by_rejected(self, sdss_catalog):
+        with pytest.raises(BindError, match="GROUP BY"):
+            bind_sql("SELECT type, count(*) FROM photoobj", sdss_catalog)
+
+    def test_grouped_column_accepted(self, sdss_catalog):
+        q = bind_sql(
+            "SELECT type, count(*) FROM photoobj GROUP BY type", sdss_catalog
+        )
+        assert q.is_aggregate
+        assert q.group_by == (("photoobj", "type"),)

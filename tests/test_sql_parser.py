@@ -1,0 +1,157 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.sql import parse
+from repro.sql.astnodes import (
+    BetweenPredicate,
+    ColumnRef,
+    Comparison,
+    FuncCall,
+    InPredicate,
+    IsNullPredicate,
+    Literal,
+    Star,
+)
+from repro.sql.lexer import Lexer
+from repro.util import ParseError
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        toks = Lexer("SeLeCt FROM").tokens()
+        assert [t.kind for t in toks] == ["keyword", "keyword", "eof"]
+
+    def test_numbers(self):
+        toks = Lexer("1 2.5 3e4 .5").tokens()
+        assert [t.value for t in toks[:-1]] == [1, 2.5, 3e4, 0.5]
+
+    def test_string_with_escaped_quote(self):
+        toks = Lexer("'it''s'").tokens()
+        assert toks[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            Lexer("'oops").tokens()
+
+    def test_comments_skipped(self):
+        toks = Lexer("select -- comment\n x").tokens()
+        assert [t.kind for t in toks] == ["keyword", "ident", "eof"]
+
+    def test_operators(self):
+        toks = Lexer("<= >= <> != = < >").tokens()
+        assert [t.value for t in toks[:-1]] == ["<=", ">=", "<>", "!=", "=", "<", ">"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            Lexer("select $").tokens()
+
+
+class TestParserBasics:
+    def test_star(self):
+        q = parse("SELECT * FROM t")
+        assert isinstance(q.select_items[0].expr, Star)
+        assert q.tables[0].name == "t"
+
+    def test_columns_and_aliases(self):
+        q = parse("SELECT a.x AS foo, y bar FROM t a")
+        assert q.select_items[0].alias == "foo"
+        assert q.select_items[1].alias == "bar"
+        assert q.tables[0].alias == "a"
+
+    def test_aggregates(self):
+        q = parse("SELECT count(*), sum(x), avg(t.y) FROM t")
+        names = [item.expr.name for item in q.select_items]
+        assert names == ["count", "sum", "avg"]
+        assert isinstance(q.select_items[0].expr.arg, Star)
+
+    def test_count_distinct(self):
+        q = parse("SELECT count(DISTINCT x) FROM t")
+        assert q.select_items[0].expr.distinct
+
+    def test_star_only_for_count(self):
+        with pytest.raises(ParseError):
+            parse("SELECT sum(*) FROM t")
+
+    def test_limit(self):
+        assert parse("SELECT * FROM t LIMIT 5").limit == 5
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM t LIMIT x")
+
+
+class TestParserPredicates:
+    def test_comparison_kinds(self):
+        q = parse("SELECT * FROM t WHERE a = 1 AND b < 2 AND c >= 'x' AND d <> 4")
+        ops = [p.op for p in q.predicates]
+        assert ops == ["=", "<", ">=", "<>"]
+
+    def test_bang_equals_normalized(self):
+        q = parse("SELECT * FROM t WHERE a != 1")
+        assert q.predicates[0].op == "<>"
+
+    def test_between(self):
+        q = parse("SELECT * FROM t WHERE a BETWEEN 1 AND 10")
+        pred = q.predicates[0]
+        assert isinstance(pred, BetweenPredicate)
+        assert (pred.low.value, pred.high.value) == (1, 10)
+
+    def test_in_list(self):
+        q = parse("SELECT * FROM t WHERE a IN (1, 2, 3)")
+        assert isinstance(q.predicates[0], InPredicate)
+        assert q.predicates[0].values == (1, 2, 3)
+
+    def test_is_null_and_not_null(self):
+        q = parse("SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL")
+        assert not q.predicates[0].negated
+        assert q.predicates[1].negated
+
+    def test_join_predicate(self):
+        q = parse("SELECT * FROM t1, t2 WHERE t1.a = t2.b")
+        pred = q.predicates[0]
+        assert isinstance(pred.right, ColumnRef)
+
+    def test_or_rejected_with_clear_error(self):
+        with pytest.raises(ParseError, match="OR"):
+            parse("SELECT * FROM t WHERE a = 1 OR b = 2")
+
+
+class TestParserClauses:
+    def test_group_order_limit(self):
+        q = parse(
+            "SELECT type, count(*) FROM t WHERE x > 0 "
+            "GROUP BY type ORDER BY type DESC LIMIT 7"
+        )
+        assert q.group_by[0].column == "type"
+        assert not q.order_by[0].ascending
+        assert q.limit == 7
+
+    def test_order_by_multiple(self):
+        q = parse("SELECT * FROM t ORDER BY a, b DESC, c ASC")
+        flags = [o.ascending for o in q.order_by]
+        assert flags == [True, False, True]
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM t WHERE a = 1 banana nonsense(")
+
+
+class TestUnparse:
+    ROUNDTRIP = [
+        "SELECT * FROM t",
+        "SELECT a, b FROM t WHERE a = 1 AND b BETWEEN 2 AND 3",
+        "SELECT COUNT(*) FROM t1, t2 WHERE t1.a = t2.b GROUP BY t1.c",
+        "SELECT a FROM t WHERE a IN (1, 2) ORDER BY a DESC LIMIT 3",
+        "SELECT a FROM t WHERE b IS NOT NULL",
+    ]
+
+    @pytest.mark.parametrize("sql", ROUNDTRIP)
+    def test_unparse_reparses_to_same_ast(self, sql):
+        first = parse(sql)
+        second = parse(first.unparse())
+        assert first == second
+
+    def test_string_literal_escaping(self):
+        q = parse("SELECT a FROM t WHERE b = 'it''s'")
+        assert parse(q.unparse()) == q

@@ -1,0 +1,141 @@
+"""Tests for the what-if component: configurations, sessions, join control."""
+
+import pytest
+
+from repro.catalog import (
+    HorizontalPartitioning,
+    Index,
+    VerticalFragment,
+    VerticalLayout,
+)
+from repro.util import DesignError
+from repro.whatif import Configuration, WhatIfSession
+
+
+def ra_index():
+    return Index("photoobj", ("ra",))
+
+
+def z_index():
+    return Index("specobj", ("z",))
+
+
+class TestConfiguration:
+    def test_empty(self):
+        assert Configuration.empty().is_empty
+
+    def test_value_semantics(self):
+        a = Configuration.of(ra_index(), z_index())
+        b = Configuration.of(z_index(), ra_index())
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_with_and_without_indexes(self):
+        cfg = Configuration.empty().with_indexes(ra_index())
+        assert ra_index() in cfg.indexes
+        assert cfg.without_indexes(ra_index()).is_empty
+
+    def test_union_merges_layouts(self):
+        layout = VerticalLayout(
+            "specobj",
+            (VerticalFragment("specobj", ("specid", "bestobjid", "z", "zerr", "class")),),
+        )
+        a = Configuration.of(ra_index())
+        b = Configuration(layouts=(layout,))
+        merged = a.union(b)
+        assert merged.indexes == a.indexes
+        assert merged.layouts == (layout,)
+
+    def test_duplicate_layout_rejected(self):
+        layout = VerticalLayout(
+            "specobj", (VerticalFragment("specobj", ("specid",)),)
+        )
+        with pytest.raises(DesignError):
+            Configuration(layouts=(layout, layout))
+
+    def test_apply_adds_objects(self, sdss_catalog):
+        cfg = Configuration.of(ra_index())
+        overlay = cfg.apply(sdss_catalog)
+        assert overlay.has_index(ra_index())
+        assert not sdss_catalog.has_index(ra_index())  # base untouched
+
+    def test_size_pages_skips_existing(self, sdss_with_indexes):
+        cfg = Configuration.of(Index("photoobj", ("ra",)))
+        assert cfg.size_pages(sdss_with_indexes) == 0  # already built
+
+    def test_build_cost_positive(self, sdss_catalog):
+        cfg = Configuration.of(ra_index(), z_index())
+        assert cfg.build_cost(sdss_catalog) > 0
+
+    def test_describe_mentions_objects(self, sdss_catalog):
+        text = Configuration.of(ra_index()).describe()
+        assert "CREATE INDEX" in text and "photoobj" in text
+
+
+class TestWhatIfSession:
+    def test_index_benefit_positive(self, sdss_catalog):
+        session = WhatIfSession(sdss_catalog)
+        wl = [("SELECT ra FROM photoobj WHERE ra BETWEEN 10 AND 11", 1.0)]
+        assert session.benefit(wl, Configuration.of(ra_index())) > 0
+
+    def test_config_never_hurts(self, sdss_catalog):
+        session = WhatIfSession(sdss_catalog)
+        wl = [
+            ("SELECT ra FROM photoobj WHERE ra BETWEEN 10 AND 11", 1.0),
+            ("SELECT dec FROM photoobj WHERE dec > 80", 1.0),
+        ]
+        config = Configuration.of(ra_index(), z_index())
+        assert session.benefit(wl, config) >= -1e-6
+
+    def test_evaluate_report_fields(self, sdss_catalog):
+        session = WhatIfSession(sdss_catalog)
+        wl = [("SELECT ra FROM photoobj WHERE ra BETWEEN 10 AND 11", 2.0)]
+        report = session.evaluate(wl, Configuration.of(ra_index()))
+        [qb] = report.per_query
+        assert qb.weight == 2.0
+        assert qb.new_cost < qb.base_cost
+        assert report.average_improvement_pct > 0
+        assert "workload" in report.to_text()
+
+    def test_service_cache_reused(self, sdss_catalog):
+        session = WhatIfSession(sdss_catalog)
+        cfg = Configuration.of(ra_index())
+        assert session.service_for(cfg) is session.service_for(cfg)
+
+    def test_join_control_changes_plan(self, sdss_catalog):
+        sql = (
+            "SELECT p.ra, s.z FROM photoobj p, specobj s WHERE p.objid = s.objid"
+        )
+        base = WhatIfSession(sdss_catalog)
+        no_hash = base.with_join_methods(enable_hashjoin=False)
+        assert base.plan(sql).node_type == "HashJoin"
+        assert no_hash.plan(sql).node_type != "HashJoin"
+
+    def test_partition_whatif(self, sdss_catalog):
+        session = WhatIfSession(sdss_catalog)
+        layout = VerticalLayout(
+            "photoobj",
+            (
+                VerticalFragment("photoobj", ("objid", "ra", "dec")),
+                VerticalFragment(
+                    "photoobj", ("rmag", "gmag", "type", "flags", "status")
+                ),
+            ),
+        )
+        config = Configuration(layouts=(layout,))
+        wl = [("SELECT ra, dec FROM photoobj WHERE ra < 100", 1.0)]
+        assert session.benefit(wl, config) > 0
+
+    def test_horizontal_whatif(self, sdss_catalog):
+        session = WhatIfSession(sdss_catalog)
+        horizontal = HorizontalPartitioning(
+            "photoobj", "ra", tuple(float(b) for b in range(40, 360, 40))
+        )
+        config = Configuration(horizontals=(horizontal,))
+        wl = [("SELECT rmag FROM photoobj WHERE ra BETWEEN 100 AND 105", 1.0)]
+        assert session.benefit(wl, config) > 0
+
+    def test_bad_workload_entries_rejected(self, sdss_catalog):
+        session = WhatIfSession(sdss_catalog)
+        with pytest.raises(TypeError):
+            session.cost(12345)

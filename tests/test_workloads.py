@@ -1,0 +1,116 @@
+"""Tests for workload generators: schemas bind, queries plan, seeds repeat."""
+
+import pytest
+
+from repro.optimizer import CostService
+from repro.sql import bind_sql
+from repro.util import DesignError
+from repro.workloads import (
+    Workload,
+    drifting_stream,
+    sdss_catalog,
+    sdss_workload,
+    tpch_catalog,
+    tpch_workload,
+)
+from repro.workloads.drift import default_phases
+
+
+class TestWorkloadContainer:
+    def test_iteration_yields_pairs(self):
+        wl = Workload([("SELECT a FROM t", 2.0), "SELECT b FROM t"])
+        entries = list(wl)
+        assert entries == [("SELECT a FROM t", 2.0), ("SELECT b FROM t", 1.0)]
+
+    def test_rejects_bad_entries(self):
+        with pytest.raises(DesignError):
+            Workload(["  "])
+        with pytest.raises(DesignError):
+            Workload([("SELECT a FROM t", 0.0)])
+
+    def test_subset_and_merge(self):
+        wl = Workload(["SELECT a FROM t", "SELECT b FROM t", "SELECT c FROM t"])
+        sub = wl.subset([0, 2])
+        assert sub.statements == ["SELECT a FROM t", "SELECT c FROM t"]
+        merged = sub.merged(Workload(["SELECT d FROM t"]))
+        assert len(merged) == 3
+
+    def test_total_weight(self):
+        wl = Workload([("SELECT a FROM t", 2.0), ("SELECT b FROM t", 3.0)])
+        assert wl.total_weight == 5.0
+
+
+class TestSdssGenerator:
+    def test_catalog_shape(self):
+        catalog = sdss_catalog(scale=0.01)
+        assert set(catalog.table_names) == {
+            "photoobj", "specobj", "field", "neighbors",
+        }
+        assert len(catalog.table("photoobj").columns) == 30
+
+    def test_scale_controls_rows(self):
+        small = sdss_catalog(scale=0.01)
+        large = sdss_catalog(scale=0.05)
+        assert large.table("photoobj").row_count > small.table("photoobj").row_count
+
+    def test_workload_binds_and_plans(self):
+        catalog = sdss_catalog(scale=0.01)
+        service = CostService(catalog)
+        workload = sdss_workload(n_queries=30, seed=1)
+        for sql, __ in workload:
+            bind_sql(sql, catalog)  # no BindError
+            assert service.cost(sql) > 0
+
+    def test_seed_determinism(self):
+        a = sdss_workload(n_queries=15, seed=9).statements
+        b = sdss_workload(n_queries=15, seed=9).statements
+        c = sdss_workload(n_queries=15, seed=10).statements
+        assert a == b
+        assert a != c
+
+    def test_mix_has_joins_and_aggregates(self):
+        statements = sdss_workload(n_queries=60, seed=2).statements
+        assert any("," in s.split("FROM")[1] for s in statements)  # a join
+        assert any("GROUP BY" in s for s in statements)
+
+
+class TestTpchGenerator:
+    def test_catalog_shape(self):
+        catalog = tpch_catalog(scale=0.01)
+        assert set(catalog.table_names) == {
+            "lineitem", "orders", "customer", "part", "supplier",
+        }
+
+    def test_workload_binds_and_plans(self):
+        catalog = tpch_catalog(scale=0.01)
+        service = CostService(catalog)
+        for sql, __ in tpch_workload(n_queries=20, seed=3):
+            assert service.cost(sql) > 0
+
+    def test_seed_determinism(self):
+        assert (
+            tpch_workload(n_queries=10, seed=4).statements
+            == tpch_workload(n_queries=10, seed=4).statements
+        )
+
+
+class TestDriftStream:
+    def test_phases_in_order(self):
+        phases = default_phases(length=5)
+        stream = list(drifting_stream(phases, seed=1))
+        assert len(stream) == 15
+        names = [name for name, __ in stream]
+        assert names == ["positional"] * 5 + ["photometric"] * 5 + ["spectral"] * 5
+
+    def test_stream_queries_bind(self):
+        catalog = sdss_catalog(scale=0.01)
+        for __, sql in drifting_stream(default_phases(length=4), seed=2):
+            bind_sql(sql, catalog)
+
+    def test_phases_emphasize_different_columns(self):
+        phases = default_phases(length=30)
+        stream = list(drifting_stream(phases, seed=1))
+        positional = " ".join(sql for name, sql in stream if name == "positional")
+        photometric = " ".join(sql for name, sql in stream if name == "photometric")
+        assert "ra BETWEEN" in positional
+        assert "ra BETWEEN" not in photometric
