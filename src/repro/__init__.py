@@ -28,6 +28,7 @@ from repro.catalog import (
 from repro.optimizer import CostService, PlannerSettings
 from repro.whatif import Configuration, WhatIfSession
 from repro.inum import InumCostModel
+from repro.evaluation import InumCachePool, WorkloadEvaluator
 from repro.cophy import CoPhyAdvisor
 from repro.autopart import AutoPartAdvisor
 from repro.colt import ColtSettings, ColtTuner
@@ -59,6 +60,8 @@ __all__ = [
     "Configuration",
     "WhatIfSession",
     "InumCostModel",
+    "InumCachePool",
+    "WorkloadEvaluator",
     "CoPhyAdvisor",
     "AutoPartAdvisor",
     "ColtSettings",

@@ -3,9 +3,9 @@
 from dataclasses import dataclass, field
 
 from repro.catalog import HorizontalPartitioning, VerticalFragment, VerticalLayout
-from repro.inum import InumCostModel
+from repro.evaluation import WorkloadEvaluator
 from repro.sql.binder import BoundWrite, bind_statement
-from repro.util import DesignError
+from repro.util import DesignError, workload_pairs
 from repro.whatif import Configuration
 
 
@@ -13,7 +13,7 @@ def _bound_queries(workload, catalog):
     """Yield ``(bound_query, weight)`` for read statements only — writes
     affect partitioning decisions through the cost model, not through the
     attribute-usage analysis."""
-    for sql, weight in _pairs(workload):
+    for sql, weight in workload_pairs(workload):
         bound = bind_statement(sql, catalog)
         if not isinstance(bound, BoundWrite):
             yield bound, weight
@@ -88,7 +88,7 @@ class AutoPartAdvisor:
 
     def __init__(self, catalog, settings=None, cost_model=None):
         self.catalog = catalog
-        self.cost_model = cost_model or InumCostModel(catalog, settings)
+        self.cost_model = cost_model or WorkloadEvaluator(catalog, settings)
 
     # ------------------------------------------------------------------
 
@@ -119,7 +119,7 @@ class AutoPartAdvisor:
         base_cost = self.cost_model.workload_cost(workload)
         new_cost = self.cost_model.workload_cost(workload, config)
         per_query = []
-        for sql, weight in _pairs(workload):
+        for sql, weight in workload_pairs(workload):
             per_query.append(
                 (
                     sql,
@@ -321,10 +321,3 @@ class AutoPartAdvisor:
             return ()
         return tuple(lo + (hi - lo) * k / parts for k in range(1, parts))
 
-
-def _pairs(workload):
-    for entry in workload:
-        if isinstance(entry, tuple) and len(entry) == 2:
-            yield entry
-        else:
-            yield entry, 1.0

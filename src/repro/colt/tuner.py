@@ -142,10 +142,14 @@ class ColtTuner:
     be enabled or disabled" — disabled means simply not calling observe.
     """
 
-    def __init__(self, catalog, settings=None, planner_settings=None):
+    def __init__(self, catalog, settings=None, planner_settings=None,
+                 evaluator=None):
         self.catalog = catalog
         self.settings = settings or ColtSettings()
-        self.session = WhatIfSession(catalog, planner_settings)
+        # All probe/observation costs flow through the (possibly shared)
+        # WorkloadEvaluator backplane behind the what-if session.
+        self.session = WhatIfSession(catalog, planner_settings, evaluator=evaluator)
+        self.evaluator = self.session.evaluator
         self.current = Configuration.empty()
         self.candidates = {}  # Index -> _CandidateState
         self.report = OnlineReport()

@@ -14,7 +14,7 @@ from repro.cophy.bip import build_bip
 from repro.cophy.candidates import candidate_indexes
 from repro.cophy.greedy import greedy_select
 from repro.cophy.solvers import solve_bip, solve_branch_and_bound, solve_lp_rounding
-from repro.inum import InumCostModel
+from repro.evaluation import WorkloadEvaluator
 from repro.util import DesignError
 from repro.whatif import Configuration
 
@@ -76,7 +76,7 @@ class CoPhyAdvisor:
 
     def __init__(self, catalog, settings=None, cost_model=None):
         self.catalog = catalog
-        self.cost_model = cost_model or InumCostModel(catalog, settings)
+        self.cost_model = cost_model or WorkloadEvaluator(catalog, settings)
 
     def recommend(
         self,

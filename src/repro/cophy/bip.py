@@ -20,7 +20,7 @@ CoPhy's quality guarantee.
 import math
 from dataclasses import dataclass, field
 
-from repro.inum.cache import _DesignView, _access_cost
+from repro.inum.cache import _DesignView
 from repro.optimizer.writecost import (
     affected_rows,
     heap_write_cost,
@@ -29,6 +29,7 @@ from repro.optimizer.writecost import (
     maintenance_cost,
 )
 from repro.sql.binder import BoundWrite
+from repro.util import workload_pairs
 from repro.whatif import Configuration
 
 
@@ -64,6 +65,7 @@ class BipProblem:
     # per-candidate maintenance penalty incurred when that index is built.
     write_base_cost: float = 0.0
     index_penalties: list = field(default_factory=list)
+    _prepared: list = field(default=None, repr=False)
 
     @property
     def n_candidates(self):
@@ -71,30 +73,77 @@ class BipProblem:
 
     def config_cost(self, chosen_positions):
         """Objective value of a given set of candidate positions — the
-        best z/x completion is computed greedily (it decomposes)."""
-        chosen = set(chosen_positions)
-        total = self.write_base_cost
-        if self.index_penalties:
-            total += sum(self.index_penalties[pos] for pos in chosen)
-        for q in self.queries:
-            best = math.inf
-            for plan in q.plans:
-                cost = plan.internal_cost
-                feasible = True
-                for slot in plan.slots:
-                    usable = [
-                        c for pos, c in slot.options if pos == -1 or pos in chosen
-                    ]
-                    if not usable:
-                        feasible = False
-                        break
-                    cost += min(usable)
-                if feasible:
-                    best = min(best, cost)
-            if not math.isfinite(best):
-                raise RuntimeError("BIP has an infeasible query term")
-            total += q.weight * best
-        return total
+        best z/x completion is computed greedily (it decomposes).
+        Single pricing implementation: delegates to :meth:`config_costs`
+        so exact solvers and the greedy batch path cannot diverge."""
+        return self.config_costs([chosen_positions])[0]
+
+    def config_costs(self, batch):
+        """Objective values for a batch of candidate-position sets.
+
+        The per-slot option lists are preprocessed once per problem —
+        default access cost split from the per-candidate options — so
+        each batch member pays only the chosen-set minimum, not a
+        re-filtering of every option list.  Results equal
+        ``config_cost`` exactly.
+        """
+        if self._prepared is None:
+            # Lazily computed after build_bip finishes mutating queries;
+            # the problem is immutable from then on.
+            self._prepared = [
+                (
+                    q.weight,
+                    [
+                        (
+                            plan.internal_cost,
+                            [
+                                (
+                                    min(
+                                        (c for pos, c in slot.options
+                                         if pos == -1),
+                                        default=None,
+                                    ),
+                                    [(pos, c) for pos, c in slot.options
+                                     if pos != -1],
+                                )
+                                for slot in plan.slots
+                            ],
+                        )
+                        for plan in q.plans
+                    ],
+                )
+                for q in self.queries
+            ]
+        prepared = self._prepared
+        totals = []
+        for chosen_positions in batch:
+            chosen = set(chosen_positions)
+            total = self.write_base_cost
+            if self.index_penalties:
+                total += sum(self.index_penalties[pos] for pos in chosen)
+            for weight, plans in prepared:
+                best = math.inf
+                for internal, slots in plans:
+                    cost = internal
+                    feasible = True
+                    for default, options in slots:
+                        winner = default
+                        for pos, option_cost in options:
+                            if pos in chosen and (
+                                winner is None or option_cost < winner
+                            ):
+                                winner = option_cost
+                        if winner is None:
+                            feasible = False
+                            break
+                        cost += winner
+                    if feasible and cost < best:
+                        best = cost
+                if not math.isfinite(best):
+                    raise RuntimeError("BIP has an infeasible query term")
+                total += weight * best
+            totals.append(total)
+        return totals
 
     def config_size(self, chosen_positions):
         return sum(self.sizes[pos] for pos in set(chosen_positions))
@@ -103,7 +152,6 @@ class BipProblem:
 def build_bip(inum_model, workload, candidates, budget_pages, max_indexes=None):
     """Assemble the BIP for *workload* over *candidates* under a budget."""
     catalog = inum_model.catalog
-    settings = inum_model.settings
     sizes = [
         float(ix.size_pages(catalog.table(ix.table_name))) for ix in candidates
     ]
@@ -131,12 +179,15 @@ def build_bip(inum_model, workload, candidates, budget_pages, max_indexes=None):
             plan_term = PlanTerm(internal_cost=cached.internal_cost, slots=[])
             feasible = True
             for slot in cached.slots:
+                # Slot pricing goes through the model's memo, so BIP
+                # construction shares per-slot access costs with every
+                # other consumer of the evaluation backplane.
                 options = []
-                default = _access_cost(slot, bq, default_view, settings)
+                default = inum_model.slot_cost(bq, slot, default_view)
                 if default is not None:
                     options.append((-1, default))
                 for pos in by_table.get(slot.table_name, ()):
-                    cost = _access_cost(slot, bq, single_views[pos], settings)
+                    cost = inum_model.slot_cost(bq, slot, single_views[pos])
                     if cost is not None and (default is None or cost < default):
                         options.append((pos, cost))
                 if not options:
@@ -149,7 +200,7 @@ def build_bip(inum_model, workload, candidates, budget_pages, max_indexes=None):
             raise RuntimeError("no feasible cached plan for %r" % (term.sql,))
         problem.queries.append(term)
 
-    for sql, weight in _pairs(workload):
+    for sql, weight in workload_pairs(workload):
         bound = inum_model.bound(sql)
         if isinstance(bound, BoundWrite):
             _add_write_terms(
@@ -192,10 +243,3 @@ def _add_write_terms(problem, inum_model, bound_write, weight, candidates,
             )
             problem.index_penalties[pos] += weight * rows * per_row
 
-
-def _pairs(workload):
-    for entry in workload:
-        if isinstance(entry, tuple) and len(entry) == 2:
-            yield entry
-        else:
-            yield entry, 1.0

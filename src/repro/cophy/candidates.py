@@ -16,6 +16,7 @@ trading solve time against solution quality.
 
 from repro.catalog import Index
 from repro.sql.binder import BoundWrite, bind_statement
+from repro.util import workload_pairs
 
 MAX_INCLUDE_COLUMNS = 6
 
@@ -33,7 +34,7 @@ def candidate_indexes(
     def vote(index, weight):
         scores[index] = scores.get(index, 0.0) + weight
 
-    for sql, weight in _pairs(workload):
+    for sql, weight in workload_pairs(workload):
         bq = bind_statement(sql, catalog)
         if isinstance(bq, BoundWrite):
             # Writes only spawn locate-helping candidates; the maintenance
@@ -89,10 +90,3 @@ def candidate_indexes(
     ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0].name))
     return [index for index, __ in ranked[:max_candidates]]
 
-
-def _pairs(workload):
-    for entry in workload:
-        if isinstance(entry, tuple) and len(entry) == 2:
-            yield entry
-        else:
-            yield entry, 1.0

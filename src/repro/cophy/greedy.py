@@ -29,19 +29,22 @@ def greedy_select(problem, by_ratio=True):
     while remaining:
         if problem.max_indexes is not None and len(chosen) >= problem.max_indexes:
             break
+        # Batched round: price every feasible one-index extension in a
+        # single sweep through the problem's pricing surface.
+        feasible = [
+            pos for pos in sorted(remaining)
+            if used + problem.sizes[pos] <= problem.budget_pages
+        ]
+        costs = problem.config_costs([chosen + [pos] for pos in feasible])
+        evaluations += len(feasible)
         best_pos = None
         best_score = 0.0
         best_cost = current_cost
-        for pos in sorted(remaining):
-            size = problem.sizes[pos]
-            if used + size > problem.budget_pages:
-                continue
-            cost = problem.config_cost(chosen + [pos])
-            evaluations += 1
+        for pos, cost in zip(feasible, costs):
             benefit = current_cost - cost
             if benefit <= 1e-9:
                 continue
-            score = benefit / size if by_ratio else benefit
+            score = benefit / problem.sizes[pos] if by_ratio else benefit
             if score > best_score:
                 best_pos, best_score, best_cost = pos, score, cost
         if best_pos is None:

@@ -5,14 +5,14 @@ from dataclasses import dataclass, field
 from repro.autopart import AutoPartAdvisor, rewrite_for_layout
 from repro.colt import ColtSettings, ColtTuner
 from repro.cophy import CoPhyAdvisor, candidate_indexes
-from repro.inum import InumCostModel
+from repro.evaluation import WorkloadEvaluator
 from repro.interaction import (
     InteractionAnalyzer,
     schedule_greedy,
     schedule_naive,
     schedule_optimal,
 )
-from repro.util import DesignError
+from repro.util import DesignError, workload_pairs
 from repro.whatif import Configuration, WhatIfSession
 
 
@@ -91,13 +91,17 @@ class FullRecommendation:
 class Designer:
     """The automated, interactive, portable physical designer."""
 
-    def __init__(self, catalog, settings=None):
+    def __init__(self, catalog, settings=None, evaluator=None):
         self.catalog = catalog
         self.settings = settings
-        self.cost_model = InumCostModel(catalog, settings)
-        self.session = WhatIfSession(catalog, settings)
-        self._index_advisor = CoPhyAdvisor(catalog, cost_model=self.cost_model)
-        self._partition_advisor = AutoPartAdvisor(catalog, cost_model=self.cost_model)
+        # One WorkloadEvaluator is the costing backplane for every
+        # component: the advisors share its INUM cache pool, the what-if
+        # session its exact per-configuration services.
+        self.evaluator = evaluator or WorkloadEvaluator(catalog, settings)
+        self.cost_model = self.evaluator
+        self.session = WhatIfSession(catalog, settings, evaluator=self.evaluator)
+        self._index_advisor = CoPhyAdvisor(catalog, cost_model=self.evaluator)
+        self._partition_advisor = AutoPartAdvisor(catalog, cost_model=self.evaluator)
 
     # ------------------------------------------------------------------
     # Scenario 1: interactive what-if evaluation.
@@ -121,7 +125,7 @@ class Designer:
         rewrites = []
         if config.layouts:
             layout_map = {l.table_name: l for l in config.layouts}
-            for sql, __ in _pairs(workload):
+            for sql, __ in workload_pairs(workload):
                 if self.session.base_service.bound(sql).is_write:
                     continue  # writes are not rewritten onto fragments
                 rewritten = rewrite_for_layout(sql, self.catalog, layout_map)
@@ -173,14 +177,17 @@ class Designer:
                 workload, replication_budget_pages=remaining
             )
             candidate = combined.union(partition_rec.configuration)
-            if self.cost_model.workload_cost(workload, candidate) < \
-                    self.cost_model.workload_cost(workload, combined):
+            candidate_cost, combined_only = self.evaluator.workload_costs(
+                workload, [candidate, combined]
+            )
+            if candidate_cost < combined_only:
                 combined = candidate
             else:
                 partition_rec = None  # partitions did not help on top of indexes
 
-        base_cost = self.cost_model.workload_cost(workload)
-        combined_cost = self.cost_model.workload_cost(workload, combined)
+        base_cost, combined_cost = self.evaluator.workload_costs(
+            workload, [Configuration.empty(), combined]
+        )
 
         graph = None
         sched = naive = None
@@ -211,12 +218,7 @@ class Designer:
 
     def continuous(self, stream, colt_settings=None):
         """Monitor *stream* and tune online; returns the OnlineReport."""
-        tuner = ColtTuner(
-            self.catalog,
-            colt_settings or ColtSettings(),
-            planner_settings=self.settings,
-        )
-        return tuner.run(stream)
+        return self.continuous_tuner(colt_settings).run(stream)
 
     def continuous_tuner(self, colt_settings=None):
         """A live tuner for feed-as-you-go use (alerts stay pending until
@@ -225,6 +227,7 @@ class Designer:
             self.catalog,
             colt_settings or ColtSettings(),
             planner_settings=self.settings,
+            evaluator=self.evaluator,
         )
 
     # ------------------------------------------------------------------
@@ -245,7 +248,7 @@ class Designer:
         config = configuration or Configuration.empty()
         service = self.session.service_for(config)
         used = set()
-        for sql, __ in _pairs(workload):
+        for sql, __ in workload_pairs(workload):
             if service.bound(sql).is_write:
                 continue  # writes maintain indexes, they don't justify them
             used |= {ix.name for ix in service.plan(sql).indexes_used()}
@@ -266,10 +269,3 @@ class Designer:
         cost = configuration.build_cost(self.catalog)
         return configuration.apply(self.catalog), cost
 
-
-def _pairs(workload):
-    for entry in workload:
-        if isinstance(entry, tuple) and len(entry) == 2:
-            yield entry
-        else:
-            yield entry, 1.0

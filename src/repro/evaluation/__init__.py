@@ -1,0 +1,27 @@
+"""The batched workload-evaluation subsystem: one costing backplane.
+
+Every designer component (what-if session, CoPhy, AutoPart, COLT, the
+interaction analyzer) obtains configuration costs through a
+:class:`WorkloadEvaluator` instead of building private caches:
+
+* :mod:`repro.evaluation.signature` — canonical, alias-invariant query
+  signatures, the pool's cache keys;
+* :mod:`repro.evaluation.pool` — the shared, LRU-bounded INUM cache pool
+  with exact hit/miss/eviction/optimizer-call statistics;
+* :mod:`repro.evaluation.evaluator` — the evaluator itself: batched
+  (vectorized, optionally multi-threaded) configuration pricing plus the
+  exact per-configuration :class:`~repro.optimizer.CostService` cache.
+"""
+
+from repro.evaluation.evaluator import BatchEvaluation, WorkloadEvaluator
+from repro.evaluation.pool import InumCachePool, PoolStats
+from repro.evaluation.signature import query_signature, statement_key
+
+__all__ = [
+    "BatchEvaluation",
+    "WorkloadEvaluator",
+    "InumCachePool",
+    "PoolStats",
+    "query_signature",
+    "statement_key",
+]

@@ -1,0 +1,429 @@
+"""The WorkloadEvaluator: the single costing backplane of the designer.
+
+The paper's headline claim is that INUM-style plan caching makes what-if
+evaluation cheap enough to explore thousands of configurations
+interactively.  The seed honored the claim per component: CoPhy, the
+interaction analyzer, COLT and the partition advisor each owned an
+:class:`~repro.inum.InumCostModel` and queried it one query and one
+configuration at a time.  This module centralizes costing:
+
+* one **shared cache pool** (:class:`~repro.evaluation.pool.InumCachePool`)
+  keyed by canonical query signatures, so components — and alias-renamed
+  queries across workloads — share INUM plan caches instead of
+  rebuilding them, with LRU bounding and exact hit/miss statistics;
+
+* a **vectorized evaluate phase**: :meth:`WorkloadEvaluator.evaluate_configurations`
+  compiles the workload once into flat (internal-cost, slot-id) plan
+  terms, resolves each distinct access slot against each configuration
+  exactly once, then prices every (configuration, query) pair with pure
+  arithmetic — with optional ``concurrent.futures`` fan-out across
+  queries;
+
+* the **exact-optimizer path** the what-if session needs: a per
+  configuration :class:`~repro.optimizer.CostService` cache
+  (:meth:`exact_service`), so "precise but slow" and "cached and fast"
+  costing share one backplane and one accounting surface.
+
+The evaluator *is* an :class:`InumCostModel` (drop-in for every seed
+consumer); single-query evaluation semantics are inherited unchanged,
+which is what the equivalence test suite pins.
+"""
+
+import math
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.evaluation.pool import InumCachePool
+from repro.evaluation.signature import statement_key
+from repro.inum.cache import InumCostModel, _DesignView, _build_cache
+from repro.optimizer import CostService
+from repro.sql.binder import BoundWrite
+from repro.util import workload_pairs
+from repro.whatif import Configuration
+
+__all__ = ["BatchEvaluation", "WorkloadEvaluator"]
+
+_MISS = object()  # memo sentinel: None is a valid (infeasible) slot cost
+
+
+@dataclass
+class BatchEvaluation:
+    """Costs of a workload under a batch of configurations."""
+
+    configurations: list
+    weights: list  # one weight per workload statement
+    matrix: list  # matrix[c][s]: unweighted cost of statement s under config c
+
+    @property
+    def totals(self):
+        """Weighted workload cost per configuration."""
+        return [
+            sum(w * c for w, c in zip(self.weights, row)) for row in self.matrix
+        ]
+
+    def best(self):
+        """(configuration, total) with the lowest workload cost."""
+        totals = self.totals
+        pos = min(range(len(totals)), key=totals.__getitem__)
+        return self.configurations[pos], totals[pos]
+
+
+@dataclass
+class _CompiledStatement:
+    weight: float
+    write: object = None  # BoundWrite for write statements
+    plans: tuple = ()  # ((internal_cost, (slot_id, ...)), ...) for reads
+    sql: str = ""
+    signature: object = None  # canonical signature (reads only)
+    tables: tuple = ()  # table names whose design affects this statement
+
+
+@dataclass
+class _CompiledWorkload:
+    statements: list = field(default_factory=list)
+    slots: list = field(default_factory=list)  # slot_id -> (slot, bound_query)
+    tables: tuple = ()  # table names any slot touches
+    signatures: frozenset = frozenset()  # read-statement signatures used
+
+
+_MAX_COMPILED = 8  # compiled-workload memo entries kept (LRU)
+_MAX_EXACT_SERVICES = 128  # per-config CostService cache bound (LRU)
+
+
+class WorkloadEvaluator(InumCostModel):
+    """Batched, pool-backed INUM evaluation plus exact what-if services.
+
+    ``pool`` may be shared between evaluators over the same catalog and
+    settings (e.g. one pool per deployment, one evaluator per session).
+    ``parallel`` turns on thread fan-out across queries in batched
+    evaluation by default; results are bit-identical either way.
+    """
+
+    def __init__(self, catalog, settings=None, pool=None, parallel=False,
+                 max_workers=None):
+        super().__init__(catalog, settings)
+        self.pool = pool if pool is not None else InumCachePool()
+        self.pool.attach(self.catalog, self.settings)
+        self.pool.subscribe(self._forget)
+        self.parallel = parallel
+        self.max_workers = max_workers
+        self._signatures = {}  # statement sql -> canonical signature
+        # signature -> {touched-table designs -> cost}; sharded like
+        # _slot_costs so eviction drops one bucket, not a dict rebuild.
+        self._stmt_costs = {}
+        self._compiled = OrderedDict()  # workload key -> _CompiledWorkload
+        # Configuration -> CostService, LRU-bounded (each service holds a
+        # full catalog clone); the empty-config base service is pinned.
+        self._exact_services = OrderedDict()
+        self._lock = threading.RLock()  # serializes pool get-or-build
+
+    # ------------------------------------------------------------------
+    # Pool-backed cache management.
+    # ------------------------------------------------------------------
+
+    def signature(self, query):
+        """Canonical signature of *query* (memoized by SQL text)."""
+        bq = self.bound(query)
+        sig = self._signatures.get(bq.sql)
+        if sig is None:
+            sig = statement_key(bq)
+            self._signatures[bq.sql] = sig
+        return sig
+
+    def cache_for(self, query):
+        bq = self.bound(query)
+        sig = self.signature(bq)
+        # The lock keeps pool statistics exact and builds single-flight
+        # when batched evaluation fans out across threads.
+        with self._lock:
+            cache = self.pool.get(sig)
+            if cache is None:
+                cache = _build_cache(bq, self.catalog, self.settings)
+                # put() broadcasts evictions to every subscribed
+                # evaluator's _forget, this one included.
+                self.pool.put(sig, cache)
+        return cache
+
+    def _forget(self, signature, cache):
+        """Drop memo entries derived from an evicted cache, so a bounded
+        pool bounds the memos too (not just the resident plan caches).
+
+        O(1) per eviction: both memos are sharded by owning query, so one
+        ``pop`` drops the whole bucket.  A parallel worker holding a
+        popped bucket merely writes lost (benign) entries into it.
+        """
+        self._slot_costs.pop(cache.bound_query.sql, None)
+        self._stmt_costs.pop(signature, None)
+        for key in [
+            k for k, v in list(self._compiled.items())
+            if signature in v.signatures
+        ]:
+            self._compiled.pop(key, None)
+
+    def clear_caches(self):
+        """Empty the pool, every memo derived from it, and the exact
+        per-configuration services (each holds a catalog clone) in one
+        stroke — the memory-reclaim hook for long-lived evaluators.  The
+        pinned base service survives, so sessions holding it stay valid.
+        """
+        with self._lock:
+            self.pool.clear()
+            self._slot_costs.clear()
+            self._stmt_costs.clear()
+            self._compiled.clear()
+            # Statement-level memos too: signature tuples and bound ASTs
+            # accumulate per distinct SQL text, not per resident cache.
+            self._signatures.clear()
+            self._bound_cache.clear()
+            base = self._exact_services.get(Configuration.empty())
+            self._exact_services.clear()
+            if base is not None:
+                self._exact_services[Configuration.empty()] = base
+
+    @property
+    def precompute_calls(self):
+        return self.pool.stats.optimizer_calls
+
+    @property
+    def stats(self):
+        """One merged statistics surface: pool + evaluation accounting."""
+        merged = self.pool.stats.as_dict()
+        merged.update(
+            pool_size=len(self.pool),
+            evaluations=self.evaluations,
+            exact_optimizer_calls=self.exact_optimizer_calls,
+        )
+        return merged
+
+    # ------------------------------------------------------------------
+    # Batched (vectorized) evaluation.
+    # ------------------------------------------------------------------
+
+    def _compile(self, workload):
+        """Flatten a workload into plan terms over deduplicated slots.
+
+        Compiled workloads are memoized (small LRU), so repeated sweeps
+        over the same workload — the interaction analyzer prices one
+        batch per index pair — skip straight to the evaluate phase.
+        Entries referencing an evicted cache are dropped by
+        :meth:`_forget`, never served stale.
+        """
+        # Materialize once: workloads may be one-shot iterators, and the
+        # memo key must be derived from the same pass that compiles.
+        pairs = [(self.bound(q), w) for q, w in workload_pairs(workload)]
+        key = tuple((bq.sql, w) for bq, w in pairs)
+        compiled = self._compiled.get(key)
+        if compiled is not None:
+            try:
+                self._compiled.move_to_end(key)
+            except KeyError:
+                pass  # concurrently pruned by _forget; object still valid
+            return compiled
+        compiled = self._compile_fresh(pairs)
+        self._compiled[key] = compiled
+        while len(self._compiled) > _MAX_COMPILED:
+            try:
+                self._compiled.popitem(last=False)
+            except KeyError:
+                break  # concurrently emptied
+        return compiled
+
+    def _compile_fresh(self, pairs):
+        compiled = _CompiledWorkload()
+        slot_ids = {}
+        tables = set()
+        for bq, weight in pairs:
+            if isinstance(bq, BoundWrite):
+                compiled.statements.append(
+                    _CompiledStatement(weight=weight, write=bq, sql=bq.sql)
+                )
+                tables.add(bq.table.name)
+                if bq.kind in ("update", "delete"):
+                    # Warm the locate cache now so the evaluate phase
+                    # issues zero optimizer calls even for writes.
+                    from repro.optimizer.writecost import locate_query
+
+                    self.cache_for(locate_query(bq))
+                continue
+            cache = self.cache_for(bq)
+            cbq = cache.bound_query
+            plans = []
+            touched = set()
+            for cached in cache.plans:
+                ids = []
+                for slot in cached.slots:
+                    key = (cbq.sql, slot)
+                    sid = slot_ids.get(key)
+                    if sid is None:
+                        sid = len(compiled.slots)
+                        slot_ids[key] = sid
+                        compiled.slots.append((slot, cbq))
+                        tables.add(slot.table_name)
+                    ids.append(sid)
+                    touched.add(slot.table_name)
+                plans.append((cached.internal_cost, tuple(ids)))
+            compiled.statements.append(
+                _CompiledStatement(
+                    weight=weight,
+                    plans=tuple(plans),
+                    sql=bq.sql,
+                    signature=self.signature(bq),
+                    tables=tuple(sorted(touched)),
+                )
+            )
+        compiled.tables = tuple(sorted(tables))
+        compiled.signatures = frozenset(
+            stmt.signature
+            for stmt in compiled.statements
+            if stmt.write is None
+        )
+        return compiled
+
+    def evaluate_configurations(self, workload, configurations, parallel=None,
+                                max_workers=None):
+        """Price all *configurations* against all of *workload* in one pass.
+
+        The evaluate phase issues zero optimizer calls (beyond cache
+        warm-up for statements seen for the first time) and shares
+        pricing at three levels: per-slot access costs (the INUM memo),
+        per-statement costs keyed by canonical signature × the design of
+        the tables the statement touches, and the per-table design
+        signatures themselves, computed once per configuration rather
+        than once per slot occurrence.  With ``parallel=True`` queries
+        are fanned out across threads; the result is deterministic and
+        identical to the sequential path.
+        """
+        if parallel is None:
+            parallel = self.parallel
+        if max_workers is None:
+            max_workers = self.max_workers
+        configurations = [c or Configuration.empty() for c in configurations]
+        compiled = self._compile(workload)
+        views = [_DesignView(self.catalog, c) for c in configurations]
+        table_sigs = [
+            {name: view.design_signature(name) for name in compiled.tables}
+            for view in views
+        ]
+        slot_caches = [{} for __ in views]  # slot_id -> cost under view
+
+        def statement_cost(stmt, pos):
+            view = views[pos]
+            if stmt.write is not None:
+                return self._write_cost(stmt.write, view, configurations[pos])
+            sigs = table_sigs[pos]
+            bucket = self._stmt_costs.get(stmt.signature)
+            if bucket is None:
+                bucket = self._stmt_costs.setdefault(stmt.signature, {})
+            key = tuple(sigs[name] for name in stmt.tables)
+            cost = bucket.get(key, _MISS)
+            if cost is not _MISS:
+                return cost
+            slot_costs = slot_caches[pos]
+            best = math.inf
+            for internal, ids in stmt.plans:
+                total = internal
+                feasible = True
+                for sid in ids:
+                    cost = slot_costs.get(sid, _MISS)
+                    if cost is _MISS:
+                        slot, bq = compiled.slots[sid]
+                        cost = self.slot_cost(
+                            bq, slot, view,
+                            design_signature=sigs[slot.table_name],
+                        )
+                        slot_costs[sid] = cost
+                    if cost is None:
+                        feasible = False
+                        break
+                    total += cost
+                if feasible and total < best:
+                    best = total
+            if not math.isfinite(best):
+                raise RuntimeError("INUM cache produced no feasible plan")
+            bucket[key] = best
+            return best
+
+        def column(stmt):
+            return [statement_cost(stmt, pos) for pos in range(len(views))]
+
+        if parallel and len(compiled.statements) > 1:
+            with ThreadPoolExecutor(max_workers=max_workers) as executor:
+                columns = list(executor.map(column, compiled.statements))
+        else:
+            columns = [column(stmt) for stmt in compiled.statements]
+
+        self.evaluations += len(compiled.statements) * len(configurations)
+        matrix = [
+            [columns[s][c] for s in range(len(compiled.statements))]
+            for c in range(len(configurations))
+        ]
+        return BatchEvaluation(
+            configurations=list(configurations),
+            weights=[stmt.weight for stmt in compiled.statements],
+            matrix=matrix,
+        )
+
+    def workload_costs(self, workload, configurations, parallel=None):
+        """Convenience: just the weighted totals, one per configuration."""
+        return self.evaluate_configurations(
+            workload, configurations, parallel=parallel
+        ).totals
+
+    def workload_cost_with_usage_batch(self, workload, configurations):
+        """Usage-aware evaluation of a batch of configurations.
+
+        This is the seam level-wise IBG builds price their frontiers
+        through.  It currently evaluates configurations serially (usage
+        extraction re-derives per-slot winners, which the slot memo does
+        not capture); the batch signature exists so vectorizing it later
+        does not require touching the IBG/doi callers.
+        """
+        return [
+            self.workload_cost_with_usage(workload, config)
+            for config in configurations
+        ]
+
+    # ------------------------------------------------------------------
+    # The exact-optimizer side of the backplane (what-if sessions).
+    # ------------------------------------------------------------------
+
+    def exact_service(self, config=None):
+        """A :class:`CostService` seeing *config* overlaid on the catalog.
+
+        Services are cached per configuration and share one optimizer
+        call counter and bind cache, exactly like the seed's
+        :class:`WhatIfSession` did — the session now borrows them from
+        here so every component draws costs from one place.
+        """
+        config = config or Configuration.empty()
+        svc = self._exact_services.get(config)
+        if svc is not None:
+            self._exact_services.move_to_end(config)
+            return svc
+        base = self._exact_services.get(Configuration.empty())
+        if base is None:
+            base = CostService(self.catalog, self.settings)
+            self._exact_services[Configuration.empty()] = base
+        if config.is_empty:
+            return base
+        svc = base.with_catalog(config.apply(self.catalog))
+        self._exact_services[config] = svc
+        while len(self._exact_services) > _MAX_EXACT_SERVICES:
+            oldest = next(iter(self._exact_services))
+            if oldest.is_empty:  # never evict the pinned base service
+                self._exact_services.move_to_end(oldest)
+                continue
+            del self._exact_services[oldest]
+        return svc
+
+    def exact_cost(self, query, config=None):
+        """Full-optimizer cost of *query* under *config* (precise path)."""
+        return self.exact_service(config).cost(query)
+
+    @property
+    def exact_optimizer_calls(self):
+        base = self._exact_services.get(Configuration.empty())
+        return base.optimizer_calls if base is not None else 0
+

@@ -1,0 +1,153 @@
+"""The shared INUM cache pool: one build, many consumers.
+
+Every designer component (CoPhy, AutoPart, COLT, the interaction
+analyzer, the what-if session) prices configurations against per-query
+INUM plan caches.  In the seed each component built its own caches;
+the pool makes them a shared, bounded resource keyed by the canonical
+query signature, so alias-renamed duplicates and cross-component reuse
+hit instead of rebuilding — and so cache memory is bounded under
+long-running multi-workload traffic (LRU eviction).
+"""
+
+import threading
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PoolStats:
+    """Exact counters for cache-pool behavior (tested to the unit)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    optimizer_calls: int = 0  # cumulative build calls, survives eviction
+
+    def as_dict(self):
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "optimizer_calls": self.optimizer_calls,
+        }
+
+    @property
+    def hit_rate(self):
+        probes = self.hits + self.misses
+        return self.hits / probes if probes else 0.0
+
+
+@dataclass
+class InumCachePool:
+    """LRU-bounded map from canonical query signature to QueryCache.
+
+    ``capacity=None`` means unbounded (the seed's behavior); a positive
+    capacity evicts the least-recently-used entry past the limit.
+
+    ``get``/``put`` are internally synchronized, so one pool may be
+    shared across evaluators on different threads.  Build single-flight
+    (one cache construction per miss) is the *evaluator's* job — see
+    ``WorkloadEvaluator.cache_for`` — so concurrent evaluators sharing a
+    pool may occasionally build the same entry twice; results are
+    unaffected.
+    """
+
+    capacity: int = None
+    stats: PoolStats = field(default_factory=PoolStats)
+    _entries: OrderedDict = field(default_factory=OrderedDict)
+    _lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
+    _owner: tuple = field(default=None, repr=False)  # (catalog, settings)
+    _listeners: list = field(default_factory=list, repr=False)  # weak refs
+
+    def __post_init__(self):
+        if self.capacity is not None and self.capacity <= 0:
+            raise ValueError("pool capacity must be positive or None")
+
+    def attach(self, catalog, settings):
+        """Bind the pool to one (catalog, settings) pair on first attach;
+        reject evaluators over a different catalog — signatures carry no
+        catalog identity, so a mismatch would silently serve wrong costs."""
+        with self._lock:
+            if self._owner is None:
+                self._owner = (catalog, settings)
+                return
+            owner_catalog, owner_settings = self._owner
+            if owner_catalog is not catalog or owner_settings != settings:
+                raise ValueError(
+                    "cache pool is already bound to a different catalog or "
+                    "settings; use one pool per (catalog, settings) pair"
+                )
+
+    def subscribe(self, callback):
+        """Register an eviction listener (``callback(signature, cache)``).
+
+        Every attached evaluator subscribes its memo pruning, so an
+        eviction triggered by one evaluator also bounds the memos of
+        every other evaluator sharing the pool.  Held weakly: a garbage
+        collected subscriber just drops off the list.
+        """
+        with self._lock:
+            self._listeners = [r for r in self._listeners if r() is not None]
+            self._listeners.append(weakref.WeakMethod(callback))
+
+    def _notify(self, dropped):
+        """Broadcast dropped ``(signature, cache)`` pairs to live
+        listeners (callers hold the lock)."""
+        if not dropped or not self._listeners:
+            return
+        live = []
+        for ref in self._listeners:
+            callback = ref()
+            if callback is None:
+                continue
+            live.append(ref)
+            for signature, cache in dropped:
+                callback(signature, cache)
+        self._listeners = live
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, signature):
+        return signature in self._entries
+
+    def signatures(self):
+        """Signatures in LRU order (least recently used first)."""
+        return list(self._entries)
+
+    def get(self, signature):
+        with self._lock:
+            cache = self._entries.get(signature)
+            if cache is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(signature)
+            self.stats.hits += 1
+            return cache
+
+    def put(self, signature, cache):
+        """Insert a cache; returns the ``(signature, cache)`` pairs evicted
+        to make room, so the owner can drop memo entries derived from
+        them (bounding *total* memory, not just resident caches)."""
+        with self._lock:
+            self._entries[signature] = cache
+            self._entries.move_to_end(signature)
+            self.stats.optimizer_calls += cache.build_optimizer_calls
+            evicted = []
+            while self.capacity is not None \
+                    and len(self._entries) > self.capacity:
+                evicted.append(self._entries.popitem(last=False))
+                self.stats.evictions += 1
+            self._notify(evicted)
+            return evicted
+
+    def clear(self):
+        """Drop every entry; broadcasts the drops to subscribed
+        evaluators (so *their* derived memos are pruned too) and returns
+        them as ``(signature, cache)`` pairs.  Not counted as evictions."""
+        with self._lock:
+            dropped = list(self._entries.items())
+            self._entries.clear()
+            self._notify(dropped)
+            return dropped

@@ -66,6 +66,30 @@ class InteractionAnalyzer:
         context = frozenset(context) - {index}
         return self.cost(context) - self.cost(context | {index})
 
+    def prefetch(self, subsets):
+        """Batch-price index subsets into the cost cache.
+
+        When the cost model is a :class:`~repro.evaluation.WorkloadEvaluator`
+        the whole batch is evaluated in one vectorized pass; with a plain
+        model this is a no-op and costs are computed lazily as before.
+        Either way the numbers are identical (the equivalence suite pins
+        this), so prefetching is purely a throughput lever.
+        """
+        if not hasattr(self.inum, "evaluate_configurations"):
+            return
+        missing = [
+            key
+            for key in dict.fromkeys(frozenset(s) for s in subsets)
+            if key not in self._cost_cache
+        ]
+        if not missing:
+            return
+        totals = self.inum.evaluate_configurations(
+            self.workload, [Configuration(indexes=key) for key in missing]
+        ).totals
+        for key, total in zip(missing, totals):
+            self._cost_cache[key] = total
+
     def ibg(self, candidate_set):
         """The Index Benefit Graph for *candidate_set* (built once)."""
         from repro.interaction.ibg import IndexBenefitGraph
@@ -79,7 +103,15 @@ class InteractionAnalyzer:
                     self.workload, Configuration(indexes=frozenset(subset))
                 )
 
-            graph = IndexBenefitGraph.build(oracle, key)
+            oracle_many = None
+            if hasattr(self.inum, "workload_cost_with_usage_batch"):
+                def oracle_many(subsets):
+                    return self.inum.workload_cost_with_usage_batch(
+                        self.workload,
+                        [Configuration(indexes=frozenset(s)) for s in subsets],
+                    )
+
+            graph = IndexBenefitGraph.build(oracle, key, oracle_many=oracle_many)
             self._ibg_cache[key] = graph
         return graph
 
@@ -92,8 +124,14 @@ class InteractionAnalyzer:
         others = sorted(
             (ix for ix in candidate_set if ix not in (a, b)), key=lambda i: i.name
         )
+        contexts = list(self._contexts(others))
+        self.prefetch(
+            frozenset(context) | extra
+            for context in contexts
+            for extra in (frozenset(), {a}, {b}, {a, b})
+        )
         best = 0.0
-        for context in self._contexts(others):
+        for context in contexts:
             with_b = frozenset(context) | {b}
             denom = self.cost(with_b | {a})
             if denom <= 0:
@@ -120,6 +158,9 @@ class InteractionAnalyzer:
         """The Figure-2 graph: one vertex per index, edges weighted by doi."""
         candidate_set = sorted(set(candidate_set), key=lambda i: i.name)
         graph = nx.Graph()
+        self.prefetch(
+            [frozenset()] + [frozenset((ix,)) for ix in candidate_set]
+        )
         for ix in candidate_set:
             graph.add_node(ix.name, index=ix, benefit=self.benefit(ix, ()))
         for a, b in itertools.combinations(candidate_set, 2):

@@ -37,27 +37,39 @@ class IndexBenefitGraph:
     build_evaluations: int = 0
 
     @classmethod
-    def build(cls, cost_with_usage, candidate_set):
+    def build(cls, cost_with_usage, candidate_set, oracle_many=None):
         """Construct the IBG.
 
         ``cost_with_usage(frozenset) -> (cost, used_frozenset)`` is the
         optimizer/INUM oracle; ``used`` must be a subset of the argument.
+
+        The graph is expanded level by level, so when ``oracle_many``
+        (``[frozenset] -> [(cost, used)]``) is supplied — e.g. a
+        :class:`~repro.evaluation.WorkloadEvaluator`'s usage-batch
+        oracle — each frontier is handed over in one call, letting the
+        oracle share or vectorize work across the level.  The resulting
+        graph is identical either way.
         """
         root = frozenset(candidate_set)
         graph = cls(root=root)
-        stack = [root]
-        while stack:
-            subset = stack.pop()
-            if subset in graph.nodes:
-                continue
-            cost, used = cost_with_usage(subset)
-            used = frozenset(used) & subset
-            graph.nodes[subset] = IbgNode(subset=subset, cost=cost, used=used)
-            graph.build_evaluations += 1
-            for index in used:
-                child = subset - {index}
-                if child not in graph.nodes:
-                    stack.append(child)
+        frontier = [root]
+        while frontier:
+            fresh = [
+                s for s in dict.fromkeys(frontier) if s not in graph.nodes
+            ]
+            if oracle_many is not None:
+                results = oracle_many(fresh)
+            else:
+                results = [cost_with_usage(subset) for subset in fresh]
+            frontier = []
+            for subset, (cost, used) in zip(fresh, results):
+                used = frozenset(used) & subset
+                graph.nodes[subset] = IbgNode(subset=subset, cost=cost, used=used)
+                graph.build_evaluations += 1
+                for index in used:
+                    child = subset - {index}
+                    if child not in graph.nodes:
+                        frontier.append(child)
         return graph
 
     # ------------------------------------------------------------------

@@ -29,6 +29,7 @@ from repro.optimizer.writecost import (
     maintenance_cost,
 )
 from repro.sql.binder import BoundQuery, BoundWrite, bind_statement
+from repro.util import workload_pairs
 from repro.whatif import Configuration
 
 MAX_ORDERS_PER_TABLE = 4
@@ -74,7 +75,9 @@ class InumCostModel:
         self.settings = settings or DEFAULT_SETTINGS
         self._caches = {}
         self._bound_cache = {}
-        self._slot_costs = {}  # (sql, slot, per-table design sig) -> cost
+        # sql -> {(slot, per-table design sig) -> cost}; sharded by owning
+        # query so evicting one cache drops its memo bucket in O(1).
+        self._slot_costs = {}
         self.evaluations = 0
 
     # ------------------------------------------------------------------
@@ -118,7 +121,7 @@ class InumCostModel:
         config = config or Configuration.empty()
         view = _DesignView(self.catalog, config)
         total = 0.0
-        for query, weight in _pairs(workload):
+        for query, weight in workload_pairs(workload):
             bq = self.bound(query)
             self.evaluations += 1
             if isinstance(bq, BoundWrite):
@@ -140,6 +143,26 @@ class InumCostModel:
             total += self._evaluate(self.cache_for(locate), view)
         return total
 
+    def slot_cost(self, bq, slot, view, design_signature=None):
+        """Memoized analytic access cost of *slot* under *view*.
+
+        The memo is keyed by the owning query, the slot, and the
+        per-table design signature, so it is shared across
+        configurations, across evaluate calls, and (through the cached
+        plan's bound query) across alias-renamed queries that share one
+        cache entry.  ``design_signature`` may be passed to avoid
+        recomputing it in batched loops.
+        """
+        if design_signature is None:
+            design_signature = view.design_signature(slot.table_name)
+        bucket = self._slot_costs.get(bq.sql)
+        if bucket is None:
+            bucket = self._slot_costs.setdefault(bq.sql, {})
+        key = (slot, design_signature)
+        if key not in bucket:
+            bucket[key] = _access_cost(slot, bq, view, self.settings)
+        return bucket[key]
+
     def _evaluate(self, cache, view):
         bq = cache.bound_query
         best = math.inf
@@ -147,12 +170,7 @@ class InumCostModel:
             total = cached.internal_cost
             feasible = True
             for slot in cached.slots:
-                key = (bq.sql, slot, view.design_signature(slot.table_name))
-                if key not in self._slot_costs:
-                    self._slot_costs[key] = _access_cost(
-                        slot, bq, view, self.settings
-                    )
-                cost = self._slot_costs[key]
+                cost = self.slot_cost(bq, slot, view)
                 if cost is None:
                     feasible = False
                     break
@@ -220,7 +238,7 @@ class InumCostModel:
         config = config or Configuration.empty()
         total = 0.0
         used = set()
-        for query, weight in _pairs(workload):
+        for query, weight in workload_pairs(workload):
             cost, q_used = self.cost_with_usage(query, config)
             total += weight * cost
             used |= q_used
@@ -231,7 +249,7 @@ class InumCostModel:
         number of optimizer calls spent (INUM's one-off investment).
         Write statements warm the cache of their locate query."""
         before = self.precompute_calls
-        for query, __ in _pairs(workload):
+        for query, __ in workload_pairs(workload):
             bq = self.bound(query)
             if isinstance(bq, BoundWrite):
                 if bq.kind in ("update", "delete"):
@@ -512,10 +530,3 @@ def _path_indexes(path):
         return (single,)
     return tuple(getattr(path, "indexes", ()) or ())
 
-
-def _pairs(workload):
-    for entry in workload:
-        if isinstance(entry, tuple) and len(entry) == 2:
-            yield entry
-        else:
-            yield entry, 1.0

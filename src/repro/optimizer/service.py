@@ -12,7 +12,7 @@ from repro.optimizer.planner import plan_query
 from repro.optimizer.settings import DEFAULT_SETTINGS
 from repro.optimizer.writecost import write_statement_cost
 from repro.sql.binder import BoundQuery, BoundWrite, bind_statement
-from repro.util import PlanningError
+from repro.util import PlanningError, workload_pairs
 
 
 class CostService:
@@ -84,7 +84,7 @@ class CostService:
         """Weighted total cost of a workload (iterable of (query, weight)
         pairs or a :class:`~repro.workloads.workload.Workload`)."""
         total = 0.0
-        for query, weight in _pairs(workload):
+        for query, weight in workload_pairs(workload):
             total += weight * self.cost(query)
         return total
 
@@ -113,10 +113,3 @@ class _Counter:
     def __init__(self):
         self.calls = 0
 
-
-def _pairs(workload):
-    for entry in workload:
-        if isinstance(entry, tuple) and len(entry) == 2:
-            yield entry
-        else:
-            yield entry, 1.0

@@ -10,7 +10,23 @@ from repro.util.errors import (
 )
 from repro.util.maths import align8, ceil_div, clamp, safe_log2
 
+
+def workload_pairs(workload):
+    """Normalize a workload into ``(statement, weight)`` pairs.
+
+    Accepts the protocol every costing API speaks: an iterable of
+    ``(sql, weight)`` tuples, bare statements (weight 1.0), or a
+    :class:`~repro.workloads.Workload`.
+    """
+    for entry in workload:
+        if isinstance(entry, tuple) and len(entry) == 2:
+            yield entry
+        else:
+            yield entry, 1.0
+
+
 __all__ = [
+    "workload_pairs",
     "ReproError",
     "CatalogError",
     "ParseError",

@@ -9,8 +9,20 @@ structure".
 
 from dataclasses import dataclass, field
 
-from repro.optimizer import CostService
+from repro.util import DesignError, workload_pairs
 from repro.whatif.config import Configuration
+
+
+def _improvement_pct(base, new):
+    """Percentage improvement with the degenerate-cost convention shared
+    by per-query and report-level numbers: a zero/negative base with a
+    *different* new cost is ±inf (mirroring ``speedup``), never a silent
+    0.0 no-op."""
+    if base <= 0:
+        if new == base:
+            return 0.0
+        return float("inf") if new < base else float("-inf")
+    return 100.0 * (base - new) / base
 
 
 @dataclass
@@ -32,9 +44,7 @@ class QueryBenefit:
 
     @property
     def improvement_pct(self):
-        if self.base_cost <= 0:
-            return 0.0
-        return 100.0 * self.benefit / self.base_cost
+        return _improvement_pct(self.base_cost, self.new_cost)
 
 
 @dataclass
@@ -58,9 +68,7 @@ class WhatIfReport:
 
     @property
     def average_improvement_pct(self):
-        if self.base_total <= 0:
-            return 0.0
-        return 100.0 * self.total_benefit / self.base_total
+        return _improvement_pct(self.base_total, self.new_total)
 
     def to_text(self, max_rows=20):
         lines = [
@@ -94,15 +102,33 @@ def _clip(sql, limit=60):
 class WhatIfSession:
     """Cost evaluation under hypothetical configurations.
 
-    Caches one :class:`CostService` per distinct configuration, so repeated
-    probes of the same design (COLT does many) cost nothing extra beyond
-    the underlying plan cache.
+    The session routes all costing through a shared
+    :class:`~repro.evaluation.WorkloadEvaluator` — the designer's single
+    costing backplane.  Exact optimizer costs (this class's contract)
+    come from the evaluator's per-configuration :class:`CostService`
+    cache, so repeated probes of the same design (COLT does many) cost
+    nothing extra beyond the underlying plan cache; batched analytic
+    sweeps over many designs go through :meth:`estimate_many`.
     """
 
-    def __init__(self, catalog, settings=None):
+    def __init__(self, catalog, settings=None, evaluator=None):
+        # Imported here: repro.evaluation itself imports repro.whatif.
+        from repro.evaluation.evaluator import WorkloadEvaluator
+
+        if evaluator is not None:
+            if evaluator.catalog is not catalog:
+                raise DesignError(
+                    "catalog conflict: the provided evaluator prices a "
+                    "different catalog than this session's"
+                )
+            if settings is not None and settings != evaluator.settings:
+                raise DesignError(
+                    "settings conflict: the provided evaluator was built "
+                    "with different planner settings; pass one or the other"
+                )
         self.catalog = catalog
-        self.base_service = CostService(catalog, settings)
-        self._services = {Configuration.empty(): self.base_service}
+        self.evaluator = evaluator or WorkloadEvaluator(catalog, settings)
+        self.base_service = self.evaluator.exact_service()
 
     # ------------------------------------------------------------------
 
@@ -112,11 +138,7 @@ class WhatIfSession:
 
     def service_for(self, config):
         """CostService seeing *config* overlaid on the base catalog."""
-        svc = self._services.get(config)
-        if svc is None:
-            svc = self.base_service.with_catalog(config.apply(self.catalog))
-            self._services[config] = svc
-        return svc
+        return self.evaluator.exact_service(config)
 
     def with_join_methods(self, **enable_flags):
         """What-if join control: a session whose optimizer has the given
@@ -142,7 +164,7 @@ class WhatIfSession:
         """Full what-if comparison: base design vs *config* (Scenario 1)."""
         report = WhatIfReport(configuration=config)
         new_service = self.service_for(config)
-        for query, weight in _pairs(workload):
+        for query, weight in workload_pairs(workload):
             bq = self.base_service.bound(query)
             report.per_query.append(
                 QueryBenefit(
@@ -154,14 +176,20 @@ class WhatIfSession:
             )
         return report
 
+    def estimate_many(self, workload, configurations, parallel=None):
+        """Batched what-if sweep: price many candidate designs in one
+        pass — the interactive "thousands of configurations" path.
+
+        Named *estimate* deliberately: these are analytic INUM costs
+        (within the cost model's tolerance of the optimizer), unlike
+        :meth:`cost`/:meth:`evaluate`, which are exact.  Use it to rank
+        a sweep cheaply, then confirm the winner on the exact path.
+        Returns a :class:`~repro.evaluation.BatchEvaluation`."""
+        return self.evaluator.evaluate_configurations(
+            workload, configurations, parallel=parallel
+        )
+
     def benefit(self, workload, config):
         """Workload benefit of *config* over the base design."""
         return self.workload_cost(workload) - self.workload_cost(workload, config)
 
-
-def _pairs(workload):
-    for entry in workload:
-        if isinstance(entry, tuple) and len(entry) == 2:
-            yield entry
-        else:
-            yield entry, 1.0

@@ -139,3 +139,102 @@ class TestWhatIfSession:
         session = WhatIfSession(sdss_catalog)
         with pytest.raises(TypeError):
             session.cost(12345)
+
+
+class TestQueryBenefitDegenerateCosts:
+    """improvement_pct must mirror speedup's degenerate-cost convention:
+    a zero/negative base cost with a *different* new cost is a real
+    change, not a 0.0% no-op."""
+
+    def _benefit(self, base, new):
+        from repro.whatif import QueryBenefit
+
+        return QueryBenefit(sql="SELECT 1", base_cost=base, new_cost=new)
+
+    def test_zero_base_zero_new_is_flat(self):
+        assert self._benefit(0.0, 0.0).improvement_pct == 0.0
+
+    def test_zero_base_with_regression_is_minus_inf(self):
+        b = self._benefit(0.0, 10.0)
+        assert b.improvement_pct == float("-inf")
+        assert b.benefit < 0  # consistent direction
+
+    def test_negative_base_with_improvement_is_inf(self):
+        b = self._benefit(-5.0, -10.0)
+        assert b.improvement_pct == float("inf")
+        assert b.benefit > 0
+
+    def test_positive_base_unchanged(self):
+        b = self._benefit(200.0, 100.0)
+        assert b.improvement_pct == pytest.approx(50.0)
+        assert b.speedup == pytest.approx(2.0)
+
+    def test_speedup_consistency_on_zero_new_cost(self):
+        b = self._benefit(100.0, 0.0)
+        assert b.speedup == float("inf")
+        assert b.improvement_pct == pytest.approx(100.0)
+
+
+class TestSessionBackplane:
+    """The session draws exact services from the shared evaluator."""
+
+    def test_services_come_from_evaluator(self, sdss_catalog):
+        session = WhatIfSession(sdss_catalog)
+        config = Configuration.of(ra_index())
+        svc = session.service_for(config)
+        assert svc is session.evaluator.exact_service(config)
+        assert session.base_service is session.evaluator.exact_service()
+
+    def test_shared_evaluator_shares_exact_services(self, sdss_catalog):
+        from repro.evaluation import WorkloadEvaluator
+
+        evaluator = WorkloadEvaluator(sdss_catalog)
+        one = WhatIfSession(sdss_catalog, evaluator=evaluator)
+        two = WhatIfSession(sdss_catalog, evaluator=evaluator)
+        config = Configuration.of(ra_index())
+        assert one.service_for(config) is two.service_for(config)
+
+    def test_estimate_many_matches_per_config_costs(self, sdss_catalog):
+        session = WhatIfSession(sdss_catalog)
+        wl = [("SELECT ra, dec FROM photoobj WHERE ra BETWEEN 10 AND 12", 1.0)]
+        configs = [Configuration.empty(), Configuration.of(ra_index())]
+        batch = session.estimate_many(wl, configs)
+        per_call = [
+            session.evaluator.workload_cost(wl, config) for config in configs
+        ]
+        assert batch.totals == pytest.approx(per_call)
+
+    def test_conflicting_settings_with_evaluator_rejected(self, sdss_catalog):
+        from repro.evaluation import WorkloadEvaluator
+        from repro.optimizer.settings import DEFAULT_SETTINGS
+        from repro.util import DesignError
+
+        evaluator = WorkloadEvaluator(sdss_catalog)
+        changed = DEFAULT_SETTINGS.with_changes(enable_hashjoin=False)
+        with pytest.raises(DesignError):
+            WhatIfSession(sdss_catalog, changed, evaluator=evaluator)
+        # Equal settings (or None) are fine.
+        WhatIfSession(sdss_catalog, DEFAULT_SETTINGS, evaluator=evaluator)
+        WhatIfSession(sdss_catalog, evaluator=evaluator)
+
+    def test_report_average_matches_query_convention(self):
+        from repro.whatif import QueryBenefit, WhatIfReport
+
+        report = WhatIfReport(configuration=Configuration.empty())
+        report.per_query.append(
+            QueryBenefit(sql="SELECT 1", base_cost=0.0, new_cost=10.0)
+        )
+        assert report.average_improvement_pct == float("-inf")
+        report.per_query[0] = QueryBenefit(
+            sql="SELECT 1", base_cost=0.0, new_cost=0.0
+        )
+        assert report.average_improvement_pct == 0.0
+
+    def test_mismatched_catalog_with_evaluator_rejected(self, sdss_catalog):
+        from repro.evaluation import WorkloadEvaluator
+        from repro.util import DesignError
+
+        other = sdss_catalog.clone()
+        evaluator = WorkloadEvaluator(other)
+        with pytest.raises(DesignError):
+            WhatIfSession(sdss_catalog, evaluator=evaluator)
