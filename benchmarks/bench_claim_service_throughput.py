@@ -1,0 +1,189 @@
+"""CL-SERVE — multi-tenant service throughput through the shared backplane.
+
+The TuningService's claim: hosting N tenants over one sharded, shared
+costing backplane beats running each tenant's tuning loop alone, because
+the expensive derived state — INUM plan caches, exact per-configuration
+cost services — is built once and hit by every tenant whose traffic
+overlaps.  Fan-in of overlapping streams is the normal multi-tenant
+shape (many users replay the same saved dashboards); with disjoint
+streams the service degrades to the baseline, it never does extra work
+(per-entry single-flight guarantees no duplicate builds either way).
+
+Method: an 8-tenant mixed fleet — four astronomy tenants replaying a
+shared SDSS drift stream, four decision-support tenants replaying a
+shared TPC-H drift stream — each tenant running the full session loop
+(COLT epochs, drift detection, periodic Designer.recommend refreshes).
+
+* baseline: each tenant alone, in sequence, with a private single-shard
+  pool and sequential warm-up — the seed's only option;
+* service: one TuningService, 4 shards per backplane, concurrent
+  warm-up, one ingest worker per tenant.
+
+Aggregate throughput (events/second over the whole fleet) must be at
+least 2x the baseline, and every tenant's recommendations and adopted
+configuration must be identical to its alone run — sharing dedupes
+deterministic work, it never changes results.
+"""
+
+import os
+import time
+
+from repro.evaluation import WorkloadEvaluator
+from repro.service import TenantSession, TuningService
+from repro.workloads import sdss_catalog, tpch_catalog
+from repro.workloads.drift import default_phases, drifting_stream, tpch_phases
+
+from conftest import print_table
+
+PHASE_LENGTH = 25
+TENANTS_PER_MIX = 4
+RECOMMEND_EVERY = 30
+WINDOW = 30
+
+# The claim is >=2x on quiet hardware; CI smoke jobs on shared runners
+# relax the floor (they check equivalence, not magnitude).
+SPEEDUP_FLOOR = float(os.environ.get("SERVICE_THROUGHPUT_FLOOR", "2.0"))
+
+
+def make_fleet():
+    catalogs = {
+        "sdss": sdss_catalog(scale=0.02),
+        "tpch": tpch_catalog(scale=0.02),
+    }
+    mixes = {"sdss": (default_phases, 11), "tpch": (tpch_phases, 7)}
+    tenants = []
+    for key in ("sdss", "tpch"):
+        for i in range(TENANTS_PER_MIX):
+            tenants.append(("%s-%d" % (key, i), key))
+    return catalogs, mixes, tenants
+
+
+def stream_for(mixes, key):
+    phases_fn, seed = mixes[key]
+    return drifting_stream(phases_fn(PHASE_LENGTH), seed=seed)
+
+
+def warm_queries(mixes, key):
+    return [sql for __, sql in stream_for(mixes, key)]
+
+
+def session_options():
+    return dict(recommend_every=RECOMMEND_EVERY, window=WINDOW)
+
+
+def run_alone(catalogs, mixes, tenants):
+    """Each tenant alone: private pool, sequential warm-up, one at a time."""
+    sessions = {}
+    for name, key in tenants:
+        evaluator = WorkloadEvaluator(catalogs[key])
+        evaluator.warm_up(warm_queries(mixes, key))
+        session = TenantSession(
+            name, catalogs[key], evaluator, **session_options()
+        )
+        session.drain(stream_for(mixes, key))
+        sessions[name] = session
+    return sessions
+
+
+def run_service(catalogs, mixes, tenants, shards, warm_threads, concurrent):
+    service = TuningService(shards=shards, warm_threads=warm_threads)
+    for key, catalog in catalogs.items():
+        service.add_backplane(key, catalog)
+    for name, key in tenants:
+        service.add_tenant(name, key, **session_options())
+    for key in catalogs:
+        service.warm_up(key, warm_queries(mixes, key))
+    service.run_streams(
+        {name: stream_for(mixes, key) for name, key in tenants},
+        concurrency=None if concurrent else 1,
+    )
+    return service
+
+
+def fingerprint(session):
+    """What "the same recommendation" means, per tenant."""
+    return (
+        session.status()["configuration"],
+        [r.indexes for r in session.recommendations],
+        [r.trigger for r in session.recommendations],
+        len(session.drift_events),
+    )
+
+
+def test_claim_service_throughput():
+    catalogs, mixes, tenants = make_fleet()
+    events = len(tenants) * 3 * PHASE_LENGTH
+
+    # Untimed priming run (one mini tenant) so import/codepath warm-up
+    # doesn't bias whichever timed leg goes first.
+    prime = WorkloadEvaluator(catalogs["sdss"])
+    TenantSession("prime", catalogs["sdss"], prime).drain(
+        drifting_stream(default_phases(5), seed=3)
+    )
+
+    t0 = time.perf_counter()
+    alone = run_alone(catalogs, mixes, tenants)
+    t_alone = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    single = run_service(
+        catalogs, mixes, tenants, shards=1, warm_threads=None,
+        concurrent=False,
+    )
+    t_single = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    service = run_service(
+        catalogs, mixes, tenants, shards=4, warm_threads=4, concurrent=True,
+    )
+    t_service = time.perf_counter() - t0
+
+    speedup = t_alone / max(t_service, 1e-9)
+    print_table(
+        "CL-SERVE: %d tenants x %d events (shared SDSS + TPC-H dashboards)"
+        % (len(tenants), 3 * PHASE_LENGTH),
+        ("method", "seconds", "events/s"),
+        [
+            ("alone, sequential", t_alone, events / t_alone),
+            ("service, 1 shard, shared pool", t_single, events / t_single),
+            ("service, 4 shards, concurrent", t_service, events / t_service),
+        ],
+    )
+    rows = []
+    for key in catalogs:
+        stats = service.backplane(key).pool.stats
+        rows.append(
+            (key, len(service.backplane(key).pool), stats.optimizer_calls,
+             stats.hit_rate)
+        )
+    print_table(
+        "CL-SERVE: shared-pool accounting (4-shard service)",
+        ("backplane", "entries", "builds", "hit rate"),
+        rows,
+    )
+
+    # Sharing dedupes work but never changes results: every tenant's
+    # session outcome is identical to its alone run.
+    for name, __ in tenants:
+        assert fingerprint(service.tenant(name)) == fingerprint(alone[name]), (
+            "tenant %s diverged from its alone run" % name
+        )
+        assert fingerprint(single.tenant(name)) == fingerprint(alone[name])
+
+    # The fleet builds each distinct cache once, not once per tenant.
+    for key in catalogs:
+        service_builds = service.backplane(key).pool.stats.optimizer_calls
+        alone_builds = sum(
+            alone[name].evaluator.pool.stats.optimizer_calls
+            for name, k in tenants if k == key
+        )
+        assert service_builds * 2 <= alone_builds, (
+            "%s backplane should dedupe cross-tenant builds "
+            "(%d vs %d alone)" % (key, service_builds, alone_builds)
+        )
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        "the 4-shard service must be at least %.1fx the alone-sequential "
+        "baseline on aggregate throughput (got %.2fx)"
+        % (SPEEDUP_FLOOR, speedup)
+    )

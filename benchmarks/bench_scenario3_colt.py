@@ -126,7 +126,7 @@ def test_scenario3_probe_budget_self_regulates(sdss_env, benchmark):
             space_budget_pages=100_000,
         )
         tuner = ColtTuner(catalog, settings)
-        phases = (DriftPhase("pos", 200, ((sdss._cone_search, 1.0),)),)
+        phases = (DriftPhase("pos", 200, ((sdss.template("cone_search"), 1.0),)),)
         return tuner.run(drifting_stream(phases, seed=SEED))
 
     report = benchmark.pedantic(run_steady, rounds=1, iterations=1)

@@ -28,12 +28,17 @@ from repro.catalog import (
 from repro.optimizer import CostService, PlannerSettings
 from repro.whatif import Configuration, WhatIfSession
 from repro.inum import InumCostModel
-from repro.evaluation import InumCachePool, WorkloadEvaluator
+from repro.evaluation import (
+    InumCachePool,
+    ShardedInumCachePool,
+    WorkloadEvaluator,
+)
 from repro.cophy import CoPhyAdvisor
 from repro.autopart import AutoPartAdvisor
 from repro.colt import ColtSettings, ColtTuner
 from repro.interaction import InteractionAnalyzer
 from repro.designer import Designer
+from repro.service import TenantSession, TuningService
 from repro.workloads import (
     Workload,
     drifting_stream,
@@ -61,6 +66,7 @@ __all__ = [
     "WhatIfSession",
     "InumCostModel",
     "InumCachePool",
+    "ShardedInumCachePool",
     "WorkloadEvaluator",
     "CoPhyAdvisor",
     "AutoPartAdvisor",
@@ -68,6 +74,8 @@ __all__ = [
     "ColtTuner",
     "InteractionAnalyzer",
     "Designer",
+    "TenantSession",
+    "TuningService",
     "Workload",
     "drifting_stream",
     "sdss_catalog",

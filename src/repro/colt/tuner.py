@@ -187,6 +187,15 @@ class ColtTuner:
         """The configuration last proposed but not (yet) adopted."""
         return self._pending_alert
 
+    def notify_workload_shift(self):
+        """External drift signal (e.g. a tuning-service phase boundary):
+        restore the full what-if probing budget, exactly as the internal
+        self-regulation does when fresh candidate columns appear.  The
+        tuner still detects shifts on its own; this lets a host that
+        *knows* the workload changed skip the discovery lag."""
+        self._budget = self.settings.whatif_budget
+        self._stable_epochs = 0
+
     # ------------------------------------------------------------------
 
     def _harvest_candidates(self, sql):

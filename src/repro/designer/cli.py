@@ -4,10 +4,15 @@
     python -m repro evaluate   --indexes photoobj:ra,dec specobj:z ...
     python -m repro recommend  [--budget-frac F] [--solver milp|greedy|...]
     python -m repro online     [--phase-length N] [--epoch N]
+    python -m repro stream     [--phase-length N] [--refresh-every N]
+    python -m repro serve      [--tenants N] [--shards N] [--warm-threads N]
     python -m repro explain    --sql "SELECT ..."
 
 Each subcommand prints the same panels the demo UI shows (benefit tables,
-interaction graphs, schedules, per-epoch traces).
+interaction graphs, schedules, per-epoch traces).  ``stream`` runs one
+tenant's streaming session (ingest + drift detection + periodic design
+refreshes); ``serve`` simulates the multi-tenant service: a mixed
+SDSS/TPC-H tenant fleet over sharded, shared cache pools.
 """
 
 import argparse
@@ -17,6 +22,7 @@ from repro.catalog import Index
 from repro.colt import ColtSettings
 from repro.designer.facade import Designer
 from repro.optimizer import CostService
+from repro.service import TuningService
 from repro.util import ReproError
 from repro.whatif import WhatIfSession
 from repro.workloads import (
@@ -25,7 +31,7 @@ from repro.workloads import (
     tpch_catalog,
     tpch_workload,
 )
-from repro.workloads.drift import default_phases, drifting_stream
+from repro.workloads.drift import default_phases, drifting_stream, tpch_phases
 
 
 def build_parser():
@@ -85,6 +91,37 @@ def build_parser():
         "--no-adopt", action="store_true",
         help="alert only; leave adoption to the DBA",
     )
+
+    stream = sub.add_parser(
+        "stream", help="stream one tenant through a TuningService session"
+    )
+    stream.add_argument("--phase-length", type=int, default=50)
+    stream.add_argument("--epoch", type=int, default=25)
+    stream.add_argument(
+        "--refresh-every", type=int, default=50,
+        help="full-advisor recommendation refresh interval (queries)",
+    )
+    stream.add_argument(
+        "--window", type=int, default=50,
+        help="recent-query window priced by each refresh",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="simulate the multi-tenant tuning service"
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=4,
+        help="tenant count, alternating SDSS and TPC-H streams",
+    )
+    serve.add_argument("--shards", type=int, default=4)
+    serve.add_argument(
+        "--pool-capacity", type=int, default=None,
+        help="global cache-pool entry budget per backplane (default unbounded)",
+    )
+    serve.add_argument("--warm-threads", type=int, default=4)
+    serve.add_argument("--phase-length", type=int, default=30)
+    serve.add_argument("--epoch", type=int, default=25)
+    serve.add_argument("--refresh-every", type=int, default=40)
 
     explain = sub.add_parser("explain", help="EXPLAIN one SQL statement")
     explain.add_argument("--sql", required=True)
@@ -176,6 +213,89 @@ def _dispatch(args, out):
         untuned = _untuned_cost(catalog, args)
         saved = 100.0 * (untuned - report.total_cost) / untuned
         print("untuned: %.1f  -> %.1f%% saved" % (untuned, saved), file=out)
+        return 0
+
+    if args.command == "stream":
+        phases_fn = default_phases if args.workload == "sdss" else tpch_phases
+        service = TuningService()
+        service.add_backplane(args.workload, catalog)
+        session = service.add_tenant(
+            "tenant-0",
+            args.workload,
+            colt_settings=ColtSettings(
+                epoch_length=args.epoch,
+                space_budget_pages=int(
+                    sum(t.pages for t in catalog.tables) * 0.5
+                ),
+            ),
+            recommend_every=args.refresh_every,
+            window=args.window,
+        )
+        stream = drifting_stream(phases_fn(args.phase_length), seed=args.seed)
+        service.run_streams({"tenant-0": stream})
+        print(session.report.to_text(), file=out)
+        print("", file=out)
+        for rec in session.recommendations:
+            print(
+                "refresh@%d (%s, %s): %s (%.1f%% better)"
+                % (
+                    rec.at_query,
+                    rec.phase,
+                    rec.trigger,
+                    ",".join(rec.indexes) or "(none)",
+                    rec.improvement_pct,
+                ),
+                file=out,
+            )
+        print("", file=out)
+        print(service.status_text(), file=out)
+        return 0
+
+    if args.command == "serve":
+        service = TuningService(
+            shards=args.shards,
+            pool_capacity=args.pool_capacity,
+            warm_threads=args.warm_threads,
+        )
+        service.add_backplane("sdss", sdss_catalog(scale=args.scale))
+        service.add_backplane("tpch", tpch_catalog(scale=args.scale))
+        mixes = {
+            "sdss": (default_phases, args.seed),
+            "tpch": (tpch_phases, args.seed + 1),
+        }
+        streams = {}
+        for i in range(args.tenants):
+            key = "sdss" if i % 2 == 0 else "tpch"
+            name = "%s-%d" % (key, i)
+            plane = service.backplane(key)
+            service.add_tenant(
+                name,
+                key,
+                colt_settings=ColtSettings(
+                    epoch_length=args.epoch,
+                    space_budget_pages=int(
+                        sum(t.pages for t in plane.catalog.tables) * 0.5
+                    ),
+                ),
+                recommend_every=args.refresh_every,
+            )
+            phases_fn, seed = mixes[key]
+            streams[name] = drifting_stream(
+                phases_fn(args.phase_length), seed=seed
+            )
+        # Warm only backplanes a tenant will actually stream against
+        # (--tenants 1 leaves the TPC-H backplane empty).
+        active = {key for key in mixes
+                  if service.backplane(key).tenants}
+        for key in active:
+            phases_fn, seed = mixes[key]
+            service.warm_up(
+                key,
+                [sql for __, sql in
+                 drifting_stream(phases_fn(args.phase_length), seed=seed)],
+            )
+        service.run_streams(streams)
+        print(service.status_text(), file=out)
         return 0
 
     if args.command == "explain":

@@ -7,14 +7,19 @@ interaction analyzer) obtains configuration costs through a
 * :mod:`repro.evaluation.signature` — canonical, alias-invariant query
   signatures, the pool's cache keys;
 * :mod:`repro.evaluation.pool` — the shared, LRU-bounded INUM cache pool
-  with exact hit/miss/eviction/optimizer-call statistics;
+  with exact hit/miss/eviction/optimizer-call statistics and per-entry
+  build single-flight;
+* :mod:`repro.evaluation.sharded` — the same pool surface partitioned
+  across N independently locked shards, for multi-tenant traffic;
 * :mod:`repro.evaluation.evaluator` — the evaluator itself: batched
-  (vectorized, optionally multi-threaded) configuration pricing plus the
-  exact per-configuration :class:`~repro.optimizer.CostService` cache.
+  (vectorized, optionally multi-threaded) configuration pricing, a
+  concurrent cache warm-up, plus the exact per-configuration
+  :class:`~repro.optimizer.CostService` cache.
 """
 
 from repro.evaluation.evaluator import BatchEvaluation, WorkloadEvaluator
 from repro.evaluation.pool import InumCachePool, PoolStats
+from repro.evaluation.sharded import ShardedInumCachePool
 from repro.evaluation.signature import query_signature, statement_key
 
 __all__ = [
@@ -22,6 +27,7 @@ __all__ = [
     "WorkloadEvaluator",
     "InumCachePool",
     "PoolStats",
+    "ShardedInumCachePool",
     "query_signature",
     "statement_key",
 ]

@@ -117,7 +117,9 @@ class WorkloadEvaluator(InumCostModel):
         # Configuration -> CostService, LRU-bounded (each service holds a
         # full catalog clone); the empty-config base service is pinned.
         self._exact_services = OrderedDict()
-        self._lock = threading.RLock()  # serializes pool get-or-build
+        # Guards the exact-service LRU and clear_caches; cache builds are
+        # serialized per entry by the pool's own single-flight instead.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Pool-backed cache management.
@@ -135,16 +137,14 @@ class WorkloadEvaluator(InumCostModel):
     def cache_for(self, query):
         bq = self.bound(query)
         sig = self.signature(bq)
-        # The lock keeps pool statistics exact and builds single-flight
-        # when batched evaluation fans out across threads.
-        with self._lock:
-            cache = self.pool.get(sig)
-            if cache is None:
-                cache = _build_cache(bq, self.catalog, self.settings)
-                # put() broadcasts evictions to every subscribed
-                # evaluator's _forget, this one included.
-                self.pool.put(sig, cache)
-        return cache
+        # Single-flight lives in the pool: concurrent evaluators (and
+        # warm-up threads) probing the same signature share one build,
+        # and builds of *different* signatures proceed concurrently.
+        # put() inside broadcasts evictions to every subscribed
+        # evaluator's _forget, this one included.
+        return self.pool.get_or_build(
+            sig, lambda: _build_cache(bq, self.catalog, self.settings)
+        )
 
     def _forget(self, signature, cache):
         """Drop memo entries derived from an evicted cache, so a bounded
@@ -182,13 +182,57 @@ class WorkloadEvaluator(InumCostModel):
             if base is not None:
                 self._exact_services[Configuration.empty()] = base
 
+    def warm_up(self, workload, threads=None):
+        """Pre-build the INUM caches for every workload statement, with
+        the builds optionally fanned out across *threads* workers.
+
+        Returns the optimizer calls spent, exactly like the sequential
+        :meth:`warm` it generalizes.  The delta is read off the shared
+        pool's global counter: on a quiet pool it is exactly this call's
+        spend; if other evaluators build into the same pool concurrently
+        their builds land in the delta too (the work was shared either
+        way).  The resulting pool state is bit-identical either way:
+        each statement's cache is a pure function of its bound query,
+        the pool's single-flight guarantees one build per signature, and
+        binding happens up front on the calling thread (which also keeps
+        workload iteration single-threaded).  Write statements warm
+        their locate query.
+        """
+        from repro.optimizer.writecost import locate_query
+
+        before = self.precompute_calls
+        targets, seen = [], set()
+        for query, __ in workload_pairs(workload):
+            bq = self.bound(query)
+            if isinstance(bq, BoundWrite):
+                if bq.kind not in ("update", "delete"):
+                    continue
+                bq = self.bound(locate_query(bq))
+            if bq.sql not in seen:
+                seen.add(bq.sql)
+                targets.append(bq)
+        if threads is not None and threads > 1 and len(targets) > 1:
+            with ThreadPoolExecutor(max_workers=threads) as executor:
+                # list() propagates the first worker exception, if any.
+                list(executor.map(self.cache_for, targets))
+        else:
+            for bq in targets:
+                self.cache_for(bq)
+        return self.precompute_calls - before
+
     @property
     def precompute_calls(self):
         return self.pool.stats.optimizer_calls
 
     @property
     def stats(self):
-        """One merged statistics surface: pool + evaluation accounting."""
+        """One merged statistics surface: pool + evaluation accounting.
+
+        Pool counters are lock-exact.  ``evaluations`` is exact for
+        batched calls; concurrent *per-call* costing from tenant threads
+        may undercount it (unsynchronized increments on the inherited
+        hot path) — treat it as advisory on a shared backplane.
+        """
         merged = self.pool.stats.as_dict()
         merged.update(
             pool_size=len(self.pool),
@@ -354,7 +398,8 @@ class WorkloadEvaluator(InumCostModel):
         else:
             columns = [column(stmt) for stmt in compiled.statements]
 
-        self.evaluations += len(compiled.statements) * len(configurations)
+        with self._lock:  # exact even when tenant threads batch at once
+            self.evaluations += len(compiled.statements) * len(configurations)
         matrix = [
             [columns[s][c] for s in range(len(compiled.statements))]
             for c in range(len(configurations))
@@ -396,27 +441,32 @@ class WorkloadEvaluator(InumCostModel):
         call counter and bind cache, exactly like the seed's
         :class:`WhatIfSession` did — the session now borrows them from
         here so every component draws costs from one place.
+
+        Locked: tenant sessions sharing one backplane evaluator probe
+        this cache from their own threads, and the LRU mutates on every
+        lookup.
         """
         config = config or Configuration.empty()
-        svc = self._exact_services.get(config)
-        if svc is not None:
-            self._exact_services.move_to_end(config)
+        with self._lock:
+            svc = self._exact_services.get(config)
+            if svc is not None:
+                self._exact_services.move_to_end(config)
+                return svc
+            base = self._exact_services.get(Configuration.empty())
+            if base is None:
+                base = CostService(self.catalog, self.settings)
+                self._exact_services[Configuration.empty()] = base
+            if config.is_empty:
+                return base
+            svc = base.with_catalog(config.apply(self.catalog))
+            self._exact_services[config] = svc
+            while len(self._exact_services) > _MAX_EXACT_SERVICES:
+                oldest = next(iter(self._exact_services))
+                if oldest.is_empty:  # never evict the pinned base service
+                    self._exact_services.move_to_end(oldest)
+                    continue
+                del self._exact_services[oldest]
             return svc
-        base = self._exact_services.get(Configuration.empty())
-        if base is None:
-            base = CostService(self.catalog, self.settings)
-            self._exact_services[Configuration.empty()] = base
-        if config.is_empty:
-            return base
-        svc = base.with_catalog(config.apply(self.catalog))
-        self._exact_services[config] = svc
-        while len(self._exact_services) > _MAX_EXACT_SERVICES:
-            oldest = next(iter(self._exact_services))
-            if oldest.is_empty:  # never evict the pinned base service
-                self._exact_services.move_to_end(oldest)
-                continue
-            del self._exact_services[oldest]
-        return svc
 
     def exact_cost(self, query, config=None):
         """Full-optimizer cost of *query* under *config* (precise path)."""

@@ -37,6 +37,30 @@ class PoolStats:
         probes = self.hits + self.misses
         return self.hits / probes if probes else 0.0
 
+    @classmethod
+    def merged(cls, parts):
+        """One snapshot summing *parts* — how a sharded pool reports the
+        whole: counters add, rates derive from the merged counters."""
+        total = cls()
+        for part in parts:
+            total.hits += part.hits
+            total.misses += part.misses
+            total.evictions += part.evictions
+            total.optimizer_calls += part.optimizer_calls
+        return total
+
+
+class _BuildFlight:
+    """One in-progress cache construction: the leader publishes here,
+    losers of the build race wait on ``done``."""
+
+    __slots__ = ("done", "cache", "error")
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.cache = None
+        self.error = None
+
 
 @dataclass
 class InumCachePool:
@@ -47,10 +71,10 @@ class InumCachePool:
 
     ``get``/``put`` are internally synchronized, so one pool may be
     shared across evaluators on different threads.  Build single-flight
-    (one cache construction per miss) is the *evaluator's* job — see
-    ``WorkloadEvaluator.cache_for`` — so concurrent evaluators sharing a
-    pool may occasionally build the same entry twice; results are
-    unaffected.
+    is the *pool's* job: :meth:`get_or_build` guarantees one cache
+    construction per missing entry even when concurrent evaluators (or
+    warm-up threads) probe the same signature — the first prober builds,
+    the rest wait for its result instead of duplicating the work.
     """
 
     capacity: int = None
@@ -59,6 +83,7 @@ class InumCachePool:
     _lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
     _owner: tuple = field(default=None, repr=False)  # (catalog, settings)
     _listeners: list = field(default_factory=list, repr=False)  # weak refs
+    _flights: dict = field(default_factory=dict, repr=False)  # sig -> _BuildFlight
 
     def __post_init__(self):
         if self.capacity is not None and self.capacity <= 0:
@@ -141,6 +166,51 @@ class InumCachePool:
                 self.stats.evictions += 1
             self._notify(evicted)
             return evicted
+
+    def get_or_build(self, signature, builder):
+        """The cache for *signature*, built (via ``builder()``) at most
+        once across concurrent probers.
+
+        The first prober to miss becomes the flight's leader and runs the
+        (expensive) build outside the pool lock; concurrent probers of
+        the same signature wait for the leader's result instead of
+        constructing a duplicate.  Statistics stay exact: every prober
+        that finds no resident entry records one miss, leader and waiters
+        alike, and nobody double-counts a hit on the flight's result.  A
+        failed build raises the leader's exception in every waiter, and
+        the next prober retries fresh.
+        """
+        with self._lock:
+            cache = self._entries.get(signature)
+            if cache is not None:
+                self._entries.move_to_end(signature)
+                self.stats.hits += 1
+                return cache
+            self.stats.misses += 1
+            flight = self._flights.get(signature)
+            leader = flight is None
+            if leader:
+                flight = _BuildFlight()
+                self._flights[signature] = flight
+        if not leader:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.cache
+        try:
+            cache = builder()
+            flight.cache = cache
+            # Publish before retiring the flight: a prober arriving after
+            # the flight is gone must find the entry resident.
+            self.put(signature, cache)
+            return cache
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._flights.pop(signature, None)
+            flight.done.set()
 
     def clear(self):
         """Drop every entry; broadcasts the drops to subscribed

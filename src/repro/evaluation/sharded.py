@@ -1,0 +1,141 @@
+"""A sharded INUM cache pool for multi-tenant traffic.
+
+One :class:`~repro.evaluation.pool.InumCachePool` serializes every probe
+behind a single lock — fine for one advisor, a bottleneck when a tuning
+service hosts many tenant sessions hammering one costing backplane.
+:class:`ShardedInumCachePool` partitions entries across N independent
+shards by a hash of the canonical query signature, so probes of
+different shards never contend: each shard keeps its own lock, its own
+LRU order, and its own build flights (single-flight per entry is
+inherited from the shard).  A global memory budget is split across the
+shards, and statistics merge into one exact
+:class:`~repro.evaluation.pool.PoolStats` snapshot.
+
+The surface mirrors ``InumCachePool`` exactly, so a
+:class:`~repro.evaluation.WorkloadEvaluator` (and anything else written
+against the pool seam) takes either interchangeably.
+"""
+
+from repro.evaluation.pool import InumCachePool, PoolStats
+
+
+class ShardedInumCachePool:
+    """N ``InumCachePool`` shards behind the one-pool surface.
+
+    ``capacity`` is the *global* entry budget, split as evenly as
+    possible across the shards (each shard holds at least one entry, so
+    a bounded pool needs ``capacity >= shards``).  Partitioning uses the
+    builtin signature hash: stable within a process, which is all
+    correctness needs — an entry always routes to the same shard.
+
+    ``stats`` is a merged snapshot (recomputed per read); per-shard
+    counters are available via :meth:`shard_stats`.
+    """
+
+    def __init__(self, shards=4, capacity=None):
+        if shards <= 0:
+            raise ValueError("shard count must be positive")
+        if capacity is not None:
+            if capacity <= 0:
+                raise ValueError("pool capacity must be positive or None")
+            if capacity < shards:
+                raise ValueError(
+                    "global capacity %d cannot give each of %d shards an "
+                    "entry; lower the shard count" % (capacity, shards)
+                )
+        self.capacity = capacity
+        self._shards = [
+            InumCachePool(capacity=self._shard_capacity(i, shards, capacity))
+            for i in range(shards)
+        ]
+
+    @staticmethod
+    def _shard_capacity(position, shards, capacity):
+        if capacity is None:
+            return None
+        base, extra = divmod(capacity, shards)
+        return base + (1 if position < extra else 0)
+
+    # ------------------------------------------------------------------
+    # Routing.
+    # ------------------------------------------------------------------
+
+    @property
+    def n_shards(self):
+        return len(self._shards)
+
+    def shard_index(self, signature):
+        """Which shard holds *signature* (stable within the process)."""
+        return hash(signature) % len(self._shards)
+
+    def shard_for(self, signature):
+        return self._shards[self.shard_index(signature)]
+
+    # ------------------------------------------------------------------
+    # The InumCachePool surface, routed or fanned out.
+    # ------------------------------------------------------------------
+
+    def attach(self, catalog, settings):
+        """Bind to one (catalog, settings) pair; same contract as the
+        flat pool — signatures carry no catalog identity, so a mismatch
+        would silently serve wrong costs.  Every shard enforces the
+        check, so a mismatched attach raises before any shard serves."""
+        for shard in self._shards:
+            shard.attach(catalog, settings)
+
+    def subscribe(self, callback):
+        """Eviction listeners subscribe to every shard: an eviction on
+        any shard must prune the subscriber's derived memos."""
+        for shard in self._shards:
+            shard.subscribe(callback)
+
+    def get(self, signature):
+        return self.shard_for(signature).get(signature)
+
+    def put(self, signature, cache):
+        return self.shard_for(signature).put(signature, cache)
+
+    def get_or_build(self, signature, builder):
+        return self.shard_for(signature).get_or_build(signature, builder)
+
+    def __len__(self):
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, signature):
+        return signature in self.shard_for(signature)
+
+    def signatures(self):
+        """All resident signatures; LRU order holds *within* a shard
+        (global recency across shards is deliberately untracked — that
+        independence is what removes the cross-tenant lock)."""
+        out = []
+        for shard in self._shards:
+            out.extend(shard.signatures())
+        return out
+
+    def clear(self):
+        """Drop every entry on every shard; returns the concatenated
+        ``(signature, cache)`` pairs, broadcasting to subscribers as
+        each shard clears."""
+        dropped = []
+        for shard in self._shards:
+            dropped.extend(shard.clear())
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Statistics.
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self):
+        """Merged :class:`PoolStats` snapshot over all shards.  Unlike
+        the flat pool's live object this is recomputed per read; treat it
+        as a point-in-time view."""
+        return PoolStats.merged(shard.stats for shard in self._shards)
+
+    def shard_stats(self):
+        """Per-shard ``(size, stats-dict)`` pairs, for status panels and
+        balance checks."""
+        return [
+            (len(shard), shard.stats.as_dict()) for shard in self._shards
+        ]

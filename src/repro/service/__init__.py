@@ -1,0 +1,28 @@
+"""The multi-tenant online tuning service.
+
+A long-lived layer hosting many concurrent tenant streams over shared
+costing backplanes:
+
+* :mod:`repro.service.service` — :class:`TuningService`: backplane
+  registry (one sharded INUM cache pool + shared evaluator per
+  catalog), concurrent warm-up, concurrent per-tenant ingest, merged
+  status snapshots;
+* :mod:`repro.service.tenant` — :class:`TenantSession`: streaming
+  ingest, the COLT epoch loop, drift detection at phase boundaries,
+  periodic full-advisor recommendation refreshes.
+"""
+
+from repro.service.service import Backplane, TuningService
+from repro.service.tenant import (
+    DriftEvent,
+    RecommendationRecord,
+    TenantSession,
+)
+
+__all__ = [
+    "Backplane",
+    "TuningService",
+    "TenantSession",
+    "DriftEvent",
+    "RecommendationRecord",
+]

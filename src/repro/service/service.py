@@ -1,0 +1,244 @@
+"""The TuningService: many tenants, one costing backplane per catalog.
+
+The paper pitches the designer as an *interactive, continuously running*
+advisor; the seed could only tune one workload in one blocking call.
+This module is the long-lived service layer over the same components:
+
+* one :class:`Backplane` per (catalog, settings) pair — a
+  :class:`~repro.evaluation.ShardedInumCachePool` plus one shared
+  :class:`~repro.evaluation.WorkloadEvaluator` every tenant on that
+  catalog prices through.  INUM caches, exact per-configuration
+  services, and memos built for one tenant are hits for the next;
+* per-tenant :class:`~repro.service.tenant.TenantSession` objects, each
+  advancing on its own COLT epochs against the shared, incrementally
+  maintained caches (the stale-synchronous idea: tenants never wait for
+  a global barrier, they just read whatever derived state is current);
+* **concurrent warm-up** (:meth:`warm_up`) pre-building per-query
+  caches in a thread pool, bit-identical to sequential warm-up;
+* **concurrent ingest** (:meth:`run_streams`): one worker per tenant,
+  shards keeping pool probes from contending on a single lock;
+* a mergeable **status surface** (:meth:`status` /
+  :meth:`status_text`): per-tenant session snapshots plus per-backplane
+  pool statistics, cheap enough to poll.
+"""
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.evaluation import ShardedInumCachePool, WorkloadEvaluator
+from repro.service.tenant import TenantSession
+from repro.util import DesignError
+
+
+@dataclass
+class Backplane:
+    """One catalog's shared costing substrate inside the service."""
+
+    key: str
+    catalog: object
+    settings: object
+    pool: ShardedInumCachePool
+    evaluator: WorkloadEvaluator
+    tenants: list = field(default_factory=list)
+
+    def warm_up(self, workload, threads=None):
+        """Pre-build INUM caches for *workload* (thread fan-out when
+        ``threads > 1``); returns the optimizer calls spent."""
+        return self.evaluator.warm_up(workload, threads=threads)
+
+    def status(self):
+        stats = self.pool.stats
+        snapshot = stats.as_dict()
+        snapshot.update(
+            tenants=list(self.tenants),
+            pool_size=len(self.pool),
+            shards=self.pool.n_shards,
+            hit_rate=stats.hit_rate,
+            shard_stats=self.pool.shard_stats(),
+        )
+        return snapshot
+
+
+class TuningService:
+    """Hosts many concurrent tenant sessions over shared backplanes.
+
+    ``shards`` and ``pool_capacity`` size every backplane's cache pool
+    (``shards=1`` degenerates to the flat single-lock pool);
+    ``warm_threads`` is the default fan-out for :meth:`warm_up`.
+
+    Typical use::
+
+        service = TuningService(shards=4)
+        service.add_backplane("sdss", sdss_catalog(scale=0.1))
+        service.add_tenant("astro-1", "sdss", recommend_every=50)
+        service.warm_up("sdss", first_phase_queries)
+        service.run_streams({"astro-1": drifting_stream(...)})
+        print(service.status_text())
+    """
+
+    def __init__(self, shards=4, pool_capacity=None, warm_threads=None):
+        self.shards = shards
+        self.pool_capacity = pool_capacity
+        self.warm_threads = warm_threads
+        self._backplanes = OrderedDict()
+        self._tenants = OrderedDict()
+        self._lock = threading.RLock()  # guards the two registries
+
+    # ------------------------------------------------------------------
+    # Registration.
+    # ------------------------------------------------------------------
+
+    def add_backplane(self, key, catalog, settings=None):
+        """Register a catalog under *key*; tenants join it by key."""
+        with self._lock:
+            if key in self._backplanes:
+                raise DesignError("backplane %r already registered" % (key,))
+            pool = ShardedInumCachePool(
+                shards=self.shards, capacity=self.pool_capacity
+            )
+            evaluator = WorkloadEvaluator(catalog, settings, pool=pool)
+            backplane = Backplane(
+                key=key,
+                catalog=catalog,
+                settings=evaluator.settings,
+                pool=pool,
+                evaluator=evaluator,
+            )
+            self._backplanes[key] = backplane
+            return backplane
+
+    def backplane(self, key):
+        try:
+            return self._backplanes[key]
+        except KeyError:
+            raise DesignError(
+                "unknown backplane %r (registered: %s)"
+                % (key, ", ".join(self._backplanes) or "none")
+            ) from None
+
+    def add_tenant(self, name, backplane, **session_options):
+        """Create a :class:`TenantSession` named *name* on *backplane*
+        (a key previously passed to :meth:`add_backplane`).  Extra
+        keyword options go to the session constructor."""
+        with self._lock:
+            if name in self._tenants:
+                raise DesignError("tenant %r already registered" % (name,))
+            plane = self.backplane(backplane)
+            session = TenantSession(
+                name, plane.catalog, plane.evaluator, **session_options
+            )
+            self._tenants[name] = session
+            plane.tenants.append(name)
+            return session
+
+    def tenant(self, name):
+        try:
+            return self._tenants[name]
+        except KeyError:
+            raise DesignError(
+                "unknown tenant %r (registered: %s)"
+                % (name, ", ".join(self._tenants) or "none")
+            ) from None
+
+    @property
+    def tenants(self):
+        return list(self._tenants.values())
+
+    # ------------------------------------------------------------------
+    # Warm-up and ingest.
+    # ------------------------------------------------------------------
+
+    def warm_up(self, backplane, workload, threads=None):
+        """Concurrently pre-build *backplane*'s caches for *workload*."""
+        if threads is None:
+            threads = self.warm_threads
+        return self.backplane(backplane).warm_up(workload, threads=threads)
+
+    def ingest(self, tenant, event):
+        """Feed one query event to *tenant* (the streaming entry point)."""
+        self.tenant(tenant).ingest(event)
+
+    def run_streams(self, streams, concurrency=None, finish=True):
+        """Drive many tenant streams to completion and return the final
+        status snapshot.
+
+        ``streams`` maps tenant name -> iterable of query events.  Each
+        tenant is drained by exactly one worker (sessions are not
+        reentrant), up to ``concurrency`` tenants in flight at once
+        (default: all of them).  The first worker exception propagates.
+        """
+        sessions = [(self.tenant(name), stream)
+                    for name, stream in streams.items()]
+        workers = max(1, min(len(sessions), concurrency or len(sessions)))
+        if workers == 1:
+            for session, stream in sessions:
+                session.drain(stream, finish=finish)
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as executor:
+                futures = [
+                    executor.submit(session.drain, stream, finish)
+                    for session, stream in sessions
+                ]
+                for future in futures:
+                    future.result()
+        return self.status()
+
+    # ------------------------------------------------------------------
+    # Monitoring.
+    # ------------------------------------------------------------------
+
+    def status(self):
+        """Mergeable point-in-time snapshot of every tenant and pool."""
+        return {
+            "tenants": {
+                name: session.status()
+                for name, session in self._tenants.items()
+            },
+            "backplanes": {
+                key: plane.status()
+                for key, plane in self._backplanes.items()
+            },
+        }
+
+    def status_text(self):
+        """The status snapshot as the terminal panel ``serve`` prints."""
+        snapshot = self.status()
+        lines = [
+            "%-12s %-10s %8s %7s %7s %6s %6s %6s  %s"
+            % ("tenant", "phase", "queries", "epochs", "drifts",
+               "alerts", "adopt", "recs", "configuration")
+        ]
+        for name, t in snapshot["tenants"].items():
+            lines.append(
+                "%-12s %-10s %8d %7d %7d %6d %6d %6d  %s"
+                % (
+                    name,
+                    t["phase"] or "-",
+                    t["queries"],
+                    t["epochs"],
+                    t["drift_events"],
+                    t["alerts"],
+                    t["adoptions"],
+                    t["recommendations"],
+                    ",".join(t["configuration"]) or "(none)",
+                )
+            )
+        for key, plane in snapshot["backplanes"].items():
+            lines.append(
+                "backplane %-8s tenants=%d shards=%d entries=%d "
+                "hits=%d misses=%d evictions=%d builds=%d hit_rate=%.2f"
+                % (
+                    key,
+                    len(plane["tenants"]),
+                    plane["shards"],
+                    plane["pool_size"],
+                    plane["hits"],
+                    plane["misses"],
+                    plane["evictions"],
+                    plane["optimizer_calls"],
+                    plane["hit_rate"],
+                )
+            )
+        return "\n".join(lines)

@@ -1,0 +1,207 @@
+"""One tenant's continuously tuned session inside the TuningService.
+
+A tenant is a stream of query events over one catalog.  The session
+wraps the paper's Scenario-3 machinery — a COLT epoch loop observing
+every query — and adds what a long-lived service needs on top:
+
+* **streaming ingest** of ``(phase, sql)`` events (plain SQL works too),
+* **drift detection at phase boundaries**: when the event's phase tag
+  changes, the session records a drift event, restores COLT's full
+  probing budget (:meth:`~repro.colt.ColtTuner.notify_workload_shift`),
+  and reviews the design against the window that just went stale,
+* **periodic** :meth:`~repro.designer.facade.Designer.recommend`
+  **refreshes** over a sliding window of recent queries — the "full
+  advisor" pass COLT's single-column candidates cannot replace,
+* a **status snapshot** for the service's monitoring surface.
+
+Tenants advance on their own epochs; everything expensive (INUM cache
+builds, exact optimizer plans) flows through the shared backplane
+evaluator, so work one tenant pays for is a cache hit for the next.
+A session is driven by one thread at a time (the service assigns one
+worker per tenant); *different* sessions sharing an evaluator may run
+concurrently.
+"""
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.colt import ColtSettings
+from repro.designer.facade import Designer
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """A phase boundary observed in the tenant's stream."""
+
+    at_query: int  # events ingested when the boundary was seen
+    from_phase: str
+    to_phase: str
+
+
+@dataclass(frozen=True)
+class RecommendationRecord:
+    """One Designer.recommend refresh, summarized for the status panel."""
+
+    at_query: int
+    phase: str
+    trigger: str  # "interval" | "drift" | "final"
+    indexes: tuple  # sorted index names
+    improvement_pct: float
+
+
+class TenantSession:
+    """Continuous tuning of one tenant's stream over a shared backplane.
+
+    ``evaluator`` is typically a backplane-shared
+    :class:`~repro.evaluation.WorkloadEvaluator`; a private one works
+    identically (that equivalence is pinned in the test suite — shared
+    caches only dedupe deterministic work, they never change results).
+
+    ``recommend_every`` triggers a full-advisor refresh every N ingested
+    queries (0 disables interval refreshes); ``refresh_on_drift`` runs
+    one at every phase boundary; :meth:`finish` always closes with one.
+    The refresh prices the last ``window`` queries within
+    ``budget_frac`` of the catalog's total pages.
+    """
+
+    def __init__(self, name, catalog, evaluator, colt_settings=None,
+                 recommend_every=0, window=50, budget_frac=0.25,
+                 solver="greedy", refresh_on_drift=True, partitions=False):
+        self.name = name
+        self.catalog = catalog
+        self.evaluator = evaluator
+        self.designer = Designer(catalog, evaluator=evaluator)
+        if colt_settings is None:
+            colt_settings = ColtSettings(
+                space_budget_pages=int(
+                    sum(t.pages for t in catalog.tables) * 0.5
+                )
+            )
+        self.tuner = self.designer.continuous_tuner(colt_settings)
+        self.recommend_every = recommend_every
+        self.window = deque(maxlen=window)
+        self.budget_pages = int(
+            sum(t.pages for t in catalog.tables) * budget_frac
+        )
+        self.solver = solver
+        self.refresh_on_drift = refresh_on_drift
+        self.partitions = partitions
+        self.queries = 0
+        self.drift_events = []
+        self.recommendations = []
+        self.last_recommendation = None  # full FullRecommendation object
+        self._phase = None
+        self._phases_seen = []
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Streaming ingest.
+    # ------------------------------------------------------------------
+
+    def ingest(self, event):
+        """Consume one query event: ``(phase, sql)`` or plain SQL."""
+        if isinstance(event, tuple):
+            phase, sql = event
+        else:
+            phase, sql = None, event
+        if phase is not None and phase != self._phase:
+            previous = self._phase
+            self._phase = phase
+            self._phases_seen.append(phase)
+            if previous is not None:
+                self.drift_events.append(
+                    DriftEvent(
+                        at_query=self.queries,
+                        from_phase=previous,
+                        to_phase=phase,
+                    )
+                )
+                # The host *knows* the mix shifted; skip COLT's discovery
+                # lag and review the design the old phase tuned for.
+                self.tuner.notify_workload_shift()
+                if self.refresh_on_drift and self.window:
+                    self._refresh("drift")
+        self.queries += 1
+        self.window.append(sql)
+        self.tuner.observe(sql)
+        if self.recommend_every and self.queries % self.recommend_every == 0:
+            self._refresh("interval")
+
+    def drain(self, stream, finish=True):
+        """Ingest an entire event stream (the blocking convenience)."""
+        for event in stream:
+            self.ingest(event)
+        if finish:
+            self.finish()
+        return self
+
+    def finish(self):
+        """Close the trailing COLT epoch and run a final design review."""
+        if self._finished:
+            return
+        self.tuner.flush()
+        if self.window:
+            self._refresh("final")
+        self._finished = True
+
+    # ------------------------------------------------------------------
+    # Design refreshes.
+    # ------------------------------------------------------------------
+
+    def _refresh(self, trigger):
+        rec = self.designer.recommend(
+            list(self.window),
+            storage_budget_pages=self.budget_pages,
+            solver=self.solver,
+            partitions=self.partitions,
+            schedule=False,
+        )
+        self.last_recommendation = rec
+        self.recommendations.append(
+            RecommendationRecord(
+                at_query=self.queries,
+                phase=self._phase,
+                trigger=trigger,
+                indexes=tuple(
+                    sorted(
+                        ix.name for ix in rec.index_recommendation.indexes
+                    )
+                ),
+                improvement_pct=rec.improvement_pct,
+            )
+        )
+        return rec
+
+    # ------------------------------------------------------------------
+    # Monitoring.
+    # ------------------------------------------------------------------
+
+    @property
+    def report(self):
+        """The COLT per-epoch report (Scenario 3's panel)."""
+        return self.tuner.report
+
+    def status(self):
+        """A point-in-time metrics snapshot (plain data, JSON-friendly)."""
+        report = self.tuner.report
+        last = self.recommendations[-1] if self.recommendations else None
+        return {
+            "tenant": self.name,
+            "queries": self.queries,
+            "phase": self._phase,
+            "phases_seen": list(self._phases_seen),
+            "epochs": len(report.epochs),
+            "alerts": report.alerts,
+            "adoptions": report.adoptions,
+            "drift_events": len(self.drift_events),
+            "observed_cost": report.observed_cost,
+            "build_cost": report.build_cost,
+            "whatif_probes": report.whatif_probes,
+            "configuration": tuple(
+                sorted(ix.name for ix in self.tuner.current.indexes)
+            ),
+            "pending_alert": self.tuner.pending_alert is not None,
+            "recommendations": len(self.recommendations),
+            "last_recommendation": last.indexes if last else (),
+            "finished": self._finished,
+        }

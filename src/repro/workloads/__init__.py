@@ -11,7 +11,12 @@
 from repro.workloads.workload import Workload
 from repro.workloads.sdss import sdss_catalog, sdss_workload
 from repro.workloads.tpch import tpch_catalog, tpch_workload
-from repro.workloads.drift import DriftPhase, drifting_stream
+from repro.workloads.drift import (
+    DriftPhase,
+    default_phases,
+    drifting_stream,
+    tpch_phases,
+)
 
 __all__ = [
     "Workload",
@@ -20,5 +25,7 @@ __all__ = [
     "tpch_catalog",
     "tpch_workload",
     "DriftPhase",
+    "default_phases",
     "drifting_stream",
+    "tpch_phases",
 ]

@@ -3,13 +3,19 @@
 Scenario 3 needs "queries running on a database [that] evolve over time":
 the stream moves through phases, each drawing from a different template
 mix, so a design tuned for phase 1 turns stale in phase 2 — exactly the
-situation COLT is built to detect.
+situation COLT is built to detect.  Templates are addressed through the
+public registries of :mod:`repro.workloads.sdss` and
+:mod:`repro.workloads.tpch`, never their private makers.
+
+The TPC-H phases exist for the multi-tenant tuning service: a mixed
+tenant fleet streams astronomy and decision-support traffic against the
+same service, each catalog on its own costing backplane.
 """
 
 import random
 from dataclasses import dataclass
 
-from repro.workloads import sdss
+from repro.workloads import sdss, tpch
 
 
 @dataclass(frozen=True)
@@ -28,23 +34,49 @@ def default_phases(length=200):
     index set that helps one phase is nearly useless for the next.
     """
     positional = (
-        (sdss._cone_search, 0.8),
-        (sdss._neighbor_search, 0.2),
+        (sdss.template("cone_search"), 0.8),
+        (sdss.template("neighbor_search"), 0.2),
     )
     photometric = (
-        (sdss._magnitude_cut, 0.55),
-        (sdss._color_cut, 0.30),
-        (sdss._type_histogram, 0.15),
+        (sdss.template("magnitude_cut"), 0.55),
+        (sdss.template("color_cut"), 0.30),
+        (sdss.template("type_histogram"), 0.15),
     )
     spectral = (
-        (sdss._photo_spec_join, 0.5),
-        (sdss._spec_quality_join, 0.3),
-        (sdss._recent_plates, 0.2),
+        (sdss.template("photo_spec_join"), 0.5),
+        (sdss.template("spec_quality_join"), 0.3),
+        (sdss.template("recent_plates"), 0.2),
     )
     return (
         DriftPhase("positional", length, positional),
         DriftPhase("photometric", length, photometric),
         DriftPhase("spectral", length, spectral),
+    )
+
+
+def tpch_phases(length=200):
+    """Three-phase decision-support drift: pricing -> customers -> supply.
+
+    The same stale-design dynamic as :func:`default_phases`, over the
+    TPC-H-lite schema: each phase's predicates concentrate on different
+    tables and columns.
+    """
+    pricing = (
+        (tpch.template("pricing_summary"), 0.45),
+        (tpch.template("shipping_window"), 0.55),
+    )
+    customers = (
+        (tpch.template("customer_orders"), 0.6),
+        (tpch.template("big_spenders"), 0.4),
+    )
+    supply = (
+        (tpch.template("part_supplier"), 0.55),
+        (tpch.template("order_lineitem_join"), 0.45),
+    )
+    return (
+        DriftPhase("pricing", length, pricing),
+        DriftPhase("customers", length, customers),
+        DriftPhase("supply", length, supply),
     )
 
 

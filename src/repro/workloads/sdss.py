@@ -265,6 +265,36 @@ WRITE_TEMPLATES = (
     (_neighbor_insert, 0.20),
 )
 
+# Public registry: template name -> maker.  The makers above are module
+# privates; everything outside this module (drift streams, tests, tenant
+# mixes) addresses them by name through here, so the maker set can be
+# reorganized without breaking consumers.
+TEMPLATE_REGISTRY = {
+    "cone_search": _cone_search,
+    "magnitude_cut": _magnitude_cut,
+    "color_cut": _color_cut,
+    "photo_spec_join": _photo_spec_join,
+    "spec_quality_join": _spec_quality_join,
+    "type_histogram": _type_histogram,
+    "field_join": _field_join,
+    "neighbor_search": _neighbor_search,
+    "recent_plates": _recent_plates,
+    "status_update": _status_update,
+    "flags_update": _flags_update,
+    "neighbor_insert": _neighbor_insert,
+}
+
+
+def template(name):
+    """The query maker registered under *name* (see TEMPLATE_REGISTRY)."""
+    try:
+        return TEMPLATE_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            "unknown SDSS template %r (known: %s)"
+            % (name, ", ".join(sorted(TEMPLATE_REGISTRY)))
+        ) from None
+
 
 def sdss_workload(n_queries=20, seed=42, templates=None, write_fraction=0.0,
                   write_weight=1.0):

@@ -192,6 +192,28 @@ TEMPLATES = (
     (_big_spenders, 0.10),
 )
 
+# Public registry mirroring the SDSS one: consumers (drift streams,
+# tenant mixes) address makers by name, never by the private functions.
+TEMPLATE_REGISTRY = {
+    "pricing_summary": _pricing_summary,
+    "shipping_window": _shipping_window,
+    "order_lineitem_join": _order_lineitem_join,
+    "customer_orders": _customer_orders,
+    "part_supplier": _part_supplier,
+    "big_spenders": _big_spenders,
+}
+
+
+def template(name):
+    """The query maker registered under *name* (see TEMPLATE_REGISTRY)."""
+    try:
+        return TEMPLATE_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            "unknown TPC-H template %r (known: %s)"
+            % (name, ", ".join(sorted(TEMPLATE_REGISTRY)))
+        ) from None
+
 
 def tpch_workload(n_queries=15, seed=7, templates=None):
     """A seeded TPC-H-style decision-support mix."""

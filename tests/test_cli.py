@@ -93,3 +93,33 @@ class TestCommands:
                     "--no-adopt"]
         )
         assert code == 0
+
+    def test_stream(self):
+        code, text = run_cli(
+            FAST + ["stream", "--phase-length", "8", "--epoch", "5",
+                    "--refresh-every", "10", "--window", "10"]
+        )
+        assert code == 0
+        assert "epoch" in text  # the COLT panel
+        assert "refresh@" in text  # recommendation refreshes
+        assert "backplane sdss" in text  # pool status line
+
+    def test_stream_tpch(self):
+        code, text = run_cli(
+            ["--workload", "tpch"] + FAST
+            + ["stream", "--phase-length", "6", "--epoch", "5",
+               "--refresh-every", "10"]
+        )
+        assert code == 0
+        assert "backplane tpch" in text
+
+    def test_serve(self):
+        code, text = run_cli(
+            FAST + ["serve", "--tenants", "2", "--shards", "2",
+                    "--phase-length", "6", "--epoch", "5",
+                    "--refresh-every", "10"]
+        )
+        assert code == 0
+        # One SDSS and one TPC-H tenant, plus both backplane lines.
+        assert "sdss-0" in text and "tpch-1" in text
+        assert "backplane sdss" in text and "backplane tpch" in text

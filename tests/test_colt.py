@@ -19,7 +19,7 @@ def small_settings(**overrides):
 
 
 def positional_stream(n, seed=5):
-    phases = (DriftPhase("pos", n, ((sdss._cone_search, 1.0),)),)
+    phases = (DriftPhase("pos", n, ((sdss.template("cone_search"), 1.0),)),)
     return drifting_stream(phases, seed=seed)
 
 
@@ -68,7 +68,7 @@ class TestAdaptation:
             )
 
         phases = (
-            DriftPhase("pos", 30, ((sdss._cone_search, 1.0),)),
+            DriftPhase("pos", 30, ((sdss.template("cone_search"), 1.0),)),
             DriftPhase("mag", 30, ((rmag_cut, 1.0),)),
         )
         tuner = ColtTuner(sdss_catalog, small_settings())
@@ -120,7 +120,7 @@ class TestWritesInStream:
                        "UPDATE photoobj SET status = %d WHERE objid = %d"
                        % (rng.randint(0, 255), rng.randint(0, 10**5)))
             else:
-                yield ("read", sdss._cone_search(rng))
+                yield ("read", sdss.template("cone_search")(rng))
 
     def test_writes_observed_and_charged(self, sdss_catalog):
         tuner = ColtTuner(sdss_catalog, small_settings())

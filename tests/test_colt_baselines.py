@@ -8,7 +8,7 @@ from repro.workloads.drift import DriftPhase, drifting_stream
 
 
 def stream(n=30, seed=5):
-    phases = (DriftPhase("pos", n, ((sdss._cone_search, 1.0),)),)
+    phases = (DriftPhase("pos", n, ((sdss.template("cone_search"), 1.0),)),)
     return drifting_stream(phases, seed=seed)
 
 

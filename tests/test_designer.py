@@ -102,7 +102,7 @@ class TestScenario2:
 
 class TestScenario3:
     def test_continuous_tuning_reports(self, designer):
-        phases = (DriftPhase("pos", 30, ((sdss._cone_search, 1.0),)),)
+        phases = (DriftPhase("pos", 30, ((sdss.template("cone_search"), 1.0),)),)
         report = designer.continuous(
             drifting_stream(phases, seed=3),
             ColtSettings(epoch_length=10, space_budget_pages=100_000),
@@ -114,7 +114,7 @@ class TestScenario3:
         tuner = designer.continuous_tuner(
             ColtSettings(epoch_length=10, auto_adopt=False)
         )
-        phases = (DriftPhase("pos", 20, ((sdss._cone_search, 1.0),)),)
+        phases = (DriftPhase("pos", 20, ((sdss.template("cone_search"), 1.0),)),)
         for __, sql in drifting_stream(phases, seed=3):
             tuner.observe(sql)
         tuner.flush()

@@ -1,0 +1,264 @@
+"""Tests for the multi-tenant TuningService: registration, streaming
+ingest, drift detection, status snapshots, and the load-bearing
+equivalence — shared backplanes dedupe work but never change any
+tenant's outcome."""
+
+import pytest
+
+from repro.colt import ColtSettings
+from repro.evaluation import WorkloadEvaluator
+from repro.service import TenantSession, TuningService
+from repro.util import DesignError
+from repro.workloads import DriftPhase, drifting_stream, sdss, tpch
+
+SDSS_PHASES = (
+    DriftPhase("positional", 10, ((sdss.template("cone_search"), 1.0),)),
+    DriftPhase("photometric", 10, ((sdss.template("magnitude_cut"), 1.0),)),
+)
+TPCH_PHASES = (
+    DriftPhase("pricing", 10, ((tpch.template("shipping_window"), 1.0),)),
+    DriftPhase("customers", 10, ((tpch.template("customer_orders"), 1.0),)),
+)
+
+COLT = ColtSettings(epoch_length=5, space_budget_pages=50_000)
+
+
+@pytest.fixture(scope="module")
+def astro_catalog():
+    from repro.workloads import sdss_catalog
+
+    return sdss_catalog(scale=0.01)
+
+
+@pytest.fixture(scope="module")
+def dss_catalog():
+    from repro.workloads import tpch_catalog
+
+    return tpch_catalog(scale=0.01)
+
+
+def options():
+    return dict(colt_settings=COLT, recommend_every=8, window=10)
+
+
+def outcome(session):
+    """The per-tenant result surface the equivalence claim covers."""
+    status = session.status()
+    return (
+        status["configuration"],
+        [(r.trigger, r.indexes) for r in session.recommendations],
+        [(e.from_phase, e.to_phase, e.at_query) for e in session.drift_events],
+        status["epochs"],
+        status["adoptions"],
+    )
+
+
+class TestRegistration:
+    def test_duplicate_backplane_rejected(self, astro_catalog):
+        service = TuningService()
+        service.add_backplane("sdss", astro_catalog)
+        with pytest.raises(DesignError):
+            service.add_backplane("sdss", astro_catalog)
+
+    def test_duplicate_tenant_rejected(self, astro_catalog):
+        service = TuningService()
+        service.add_backplane("sdss", astro_catalog)
+        service.add_tenant("t", "sdss")
+        with pytest.raises(DesignError):
+            service.add_tenant("t", "sdss")
+
+    def test_unknown_backplane_and_tenant_rejected(self, astro_catalog):
+        service = TuningService()
+        with pytest.raises(DesignError):
+            service.add_tenant("t", "ghost")
+        with pytest.raises(DesignError):
+            service.tenant("ghost")
+
+    def test_tenants_share_their_backplane_evaluator(self, astro_catalog):
+        service = TuningService()
+        service.add_backplane("sdss", astro_catalog)
+        a = service.add_tenant("a", "sdss")
+        b = service.add_tenant("b", "sdss")
+        assert a.evaluator is b.evaluator
+        assert service.backplane("sdss").tenants == ["a", "b"]
+
+
+class TestTenantSession:
+    def test_drift_events_fire_at_phase_boundaries(self, astro_catalog):
+        session = TenantSession(
+            "t", astro_catalog, WorkloadEvaluator(astro_catalog), **options()
+        )
+        session.drain(drifting_stream(SDSS_PHASES, seed=2))
+        assert [(e.from_phase, e.to_phase) for e in session.drift_events] == [
+            ("positional", "photometric")
+        ]
+        assert session.drift_events[0].at_query == 10  # exactly the boundary
+        assert session.status()["phases_seen"] == ["positional", "photometric"]
+
+    def test_drift_restores_colt_probe_budget(self, astro_catalog):
+        session = TenantSession(
+            "t", astro_catalog, WorkloadEvaluator(astro_catalog),
+            colt_settings=ColtSettings(
+                epoch_length=2, whatif_budget=16, min_whatif_budget=2,
+                space_budget_pages=50_000,
+            ),
+        )
+        # One template, many epochs: the stable design throttles probing.
+        for __, sql in drifting_stream((SDSS_PHASES[0],), seed=2):
+            session.ingest(("positional", sql))
+        assert session.tuner._budget < 16
+        session.ingest(("photometric", sdss.template("magnitude_cut")(
+            __import__("random").Random(5))))
+        assert session.tuner._budget == 16  # restored at the boundary
+
+    def test_refresh_triggers(self, astro_catalog):
+        session = TenantSession(
+            "t", astro_catalog, WorkloadEvaluator(astro_catalog), **options()
+        )
+        session.drain(drifting_stream(SDSS_PHASES, seed=2))
+        triggers = [r.trigger for r in session.recommendations]
+        # 20 events, refresh every 8, one drift boundary, one final.
+        assert triggers == ["interval", "drift", "interval", "final"]
+        assert all(
+            r.at_query <= session.queries for r in session.recommendations
+        )
+
+    def test_plain_sql_events_have_no_phase(self, astro_catalog):
+        session = TenantSession(
+            "t", astro_catalog, WorkloadEvaluator(astro_catalog),
+            colt_settings=COLT,
+        )
+        session.ingest("SELECT ra FROM photoobj WHERE ra < 5")
+        assert session.status()["phase"] is None
+        assert session.drift_events == []
+
+    def test_finish_is_idempotent(self, astro_catalog):
+        session = TenantSession(
+            "t", astro_catalog, WorkloadEvaluator(astro_catalog), **options()
+        )
+        session.drain(drifting_stream((SDSS_PHASES[0],), seed=2))
+        recs = len(session.recommendations)
+        session.finish()
+        assert len(session.recommendations) == recs
+        assert session.status()["finished"]
+
+    def test_status_snapshot_shape(self, astro_catalog):
+        session = TenantSession(
+            "t", astro_catalog, WorkloadEvaluator(astro_catalog), **options()
+        )
+        session.drain(drifting_stream(SDSS_PHASES, seed=2))
+        status = session.status()
+        assert status["queries"] == 20
+        assert status["epochs"] == 4
+        assert status["tenant"] == "t"
+        assert status["recommendations"] == len(session.recommendations)
+        assert status["last_recommendation"] == \
+            session.recommendations[-1].indexes
+        assert isinstance(status["observed_cost"], float)
+
+
+class TestServiceEquivalence:
+    """The acceptance-pinned property: hosting tenants together changes
+    throughput accounting, never results."""
+
+    def test_shared_tenants_match_alone_runs(self, astro_catalog, dss_catalog):
+        specs = [
+            ("astro-1", "sdss", SDSS_PHASES, 4),
+            ("astro-2", "sdss", SDSS_PHASES, 4),  # fan-in: same stream
+            ("astro-3", "sdss", SDSS_PHASES, 9),  # distinct stream
+            ("dss-1", "tpch", TPCH_PHASES, 6),
+            ("dss-2", "tpch", TPCH_PHASES, 6),
+        ]
+        catalogs = {"sdss": astro_catalog, "tpch": dss_catalog}
+
+        alone = {}
+        for name, key, phases, seed in specs:
+            session = TenantSession(
+                name, catalogs[key], WorkloadEvaluator(catalogs[key]),
+                **options()
+            )
+            session.drain(drifting_stream(phases, seed=seed))
+            alone[name] = session
+
+        service = TuningService(shards=4, warm_threads=4)
+        service.add_backplane("sdss", astro_catalog)
+        service.add_backplane("tpch", dss_catalog)
+        for name, key, __, ___ in specs:
+            service.add_tenant(name, key, **options())
+        service.run_streams(
+            {
+                name: drifting_stream(phases, seed=seed)
+                for name, __, phases, seed in specs
+            }
+        )
+
+        for name, __, ___, ____ in specs:
+            assert outcome(service.tenant(name)) == outcome(alone[name]), name
+
+        # And the dedupe actually happened: the sdss backplane built the
+        # shared astro stream once, not once per tenant.
+        shared_builds = service.backplane("sdss").pool.stats.optimizer_calls
+        alone_builds = sum(
+            alone[n].evaluator.pool.stats.optimizer_calls
+            for n, k, __, ___ in specs if k == "sdss"
+        )
+        assert shared_builds < alone_builds
+
+    def test_concurrent_ingest_matches_sequential(self, astro_catalog):
+        def build_and_run(concurrency):
+            service = TuningService(shards=2)
+            service.add_backplane("sdss", astro_catalog)
+            for name in ("a", "b", "c"):
+                service.add_tenant(name, "sdss", **options())
+            service.run_streams(
+                {
+                    name: drifting_stream(SDSS_PHASES, seed=i)
+                    for i, name in enumerate(("a", "b", "c"))
+                },
+                concurrency=concurrency,
+            )
+            return {
+                name: outcome(service.tenant(name))
+                for name in ("a", "b", "c")
+            }
+
+        assert build_and_run(1) == build_and_run(3)
+
+
+class TestServiceSurface:
+    def test_run_streams_unknown_tenant(self, astro_catalog):
+        service = TuningService()
+        service.add_backplane("sdss", astro_catalog)
+        with pytest.raises(DesignError):
+            service.run_streams({"ghost": []})
+
+    def test_warm_up_counts_and_is_hit_by_ingest(self, astro_catalog):
+        service = TuningService(shards=2, warm_threads=2)
+        service.add_backplane("sdss", astro_catalog)
+        service.add_tenant("t", "sdss", **options())
+        queries = [sql for __, sql in drifting_stream(SDSS_PHASES, seed=2)]
+        calls = service.warm_up("sdss", queries)
+        assert calls > 0
+        assert service.warm_up("sdss", queries) == 0  # already resident
+        before = service.backplane("sdss").pool.stats.optimizer_calls
+        service.run_streams(
+            {"t": drifting_stream(SDSS_PHASES, seed=2)}
+        )
+        after = service.backplane("sdss").pool.stats.optimizer_calls
+        assert after == before  # ingest needed no new INUM builds
+
+    def test_status_text_lists_every_tenant_and_backplane(self, astro_catalog):
+        service = TuningService()
+        service.add_backplane("sdss", astro_catalog)
+        service.add_tenant("alpha", "sdss", **options())
+        service.ingest("alpha", ("positional", "SELECT ra FROM photoobj"))
+        text = service.status_text()
+        assert "alpha" in text
+        assert "backplane sdss" in text
+
+    def test_ingest_routes_to_tenant(self, astro_catalog):
+        service = TuningService()
+        service.add_backplane("sdss", astro_catalog)
+        service.add_tenant("t", "sdss", **options())
+        service.ingest("t", ("positional", "SELECT ra FROM photoobj"))
+        assert service.tenant("t").queries == 1
