@@ -30,6 +30,7 @@ from repro.whatif import Configuration, WhatIfSession
 from repro.inum import InumCostModel
 from repro.evaluation import (
     InumCachePool,
+    ProcessPoolBackplane,
     ShardedInumCachePool,
     WorkloadEvaluator,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "WhatIfSession",
     "InumCostModel",
     "InumCachePool",
+    "ProcessPoolBackplane",
     "ShardedInumCachePool",
     "WorkloadEvaluator",
     "CoPhyAdvisor",

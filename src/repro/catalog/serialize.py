@@ -6,6 +6,21 @@ snapshots.  The format captures the logical schema, the generative
 distributions, and the current physical design (indexes + partitions).
 Statistics are *not* serialized — they are derived deterministically from
 the distributions on load, exactly as a fresh ANALYZE would.
+
+Indexes are emitted in a canonical order (the full identity key, not
+just the name) and carry **stable integer ids**: position in that
+canonical order.  Index *names* are only unique per catalog — a
+configuration (or a tenant snapshot) may legally hold same-named
+indexes on different tables — so the ids give every index a
+collision-proof, content-derived identity that survives round-trips
+byte-for-byte (``dump(load(dump(c))) == dump(c)``).  Vertical
+fragments also carry ids, positional *within their layout*: fragment
+order is preserved, not canonicalized, because it is semantic — the
+greedy set cover in ``fragments_for`` breaks ties by fragment order,
+so reordering would change restored plans.  Today's payloads embed
+objects in full, with the ids fixing their deterministic order
+(:func:`stable_index_ids` keys the tuner's candidate snapshots);
+compact by-id cross-references are what the ids exist to enable.
 """
 
 import json
@@ -26,15 +41,44 @@ from repro.util import CatalogError
 FORMAT_VERSION = 1
 
 
+def index_sort_key(index):
+    """Canonical ordering key: the index's full identity, so ordering —
+    and therefore the assigned ids — never depends on insertion order or
+    on name uniqueness across tables."""
+    return (
+        index.table_name,
+        index.name,
+        index.columns,
+        index.include,
+        index.unique,
+    )
+
+
+def stable_index_ids(indexes):
+    """Map each index to a stable integer id (position in canonical
+    order).  Deterministic for any iteration order of *indexes*; ids are
+    unique even when names collide across tables."""
+    ordered = sorted(indexes, key=index_sort_key)
+    return {index: position for position, index in enumerate(ordered)}
+
+
 def catalog_to_dict(catalog):
     """Serializable snapshot of *catalog*."""
     return {
         "version": FORMAT_VERSION,
         "tables": [_table_to_dict(t) for t in catalog.tables],
-        "indexes": [_index_to_dict(ix) for ix in catalog.indexes],
+        "indexes": [
+            _index_to_dict(ix, stable_id)
+            for stable_id, ix in enumerate(
+                sorted(catalog.indexes, key=index_sort_key)
+            )
+        ],
         "vertical_layouts": [
             _layout_to_dict(layout)
-            for layout in catalog.vertical_layouts.values()
+            for layout in sorted(
+                catalog.vertical_layouts.values(),
+                key=lambda l: l.table_name,
+            )
         ],
         "horizontal_partitionings": [
             {
@@ -84,12 +128,18 @@ def load_catalog(path):
 
 def configuration_to_dict(configuration):
     """Serializable snapshot of a hypothetical design (a tuning session's
-    outcome): indexes + partition layouts, independent of any catalog."""
+    outcome): indexes + partition layouts, independent of any catalog.
+
+    Indexes sort by full identity, not name: a configuration may hold
+    same-named indexes on different tables, and the dump must still be
+    deterministic and loss-free."""
     return {
         "version": FORMAT_VERSION,
         "indexes": [
-            _index_to_dict(ix)
-            for ix in sorted(configuration.indexes, key=lambda i: i.name)
+            _index_to_dict(ix, stable_id)
+            for stable_id, ix in enumerate(
+                sorted(configuration.indexes, key=index_sort_key)
+            )
         ],
         "vertical_layouts": [
             _layout_to_dict(layout) for layout in configuration.layouts
@@ -193,17 +243,22 @@ def _table_from_dict(payload):
     return Table(payload["name"], columns, row_count=payload["row_count"])
 
 
-def _index_to_dict(index):
-    return {
+def index_to_dict(index, stable_id=None):
+    """Self-contained index payload; ``stable_id`` is the canonical-order
+    position assigned by the enclosing catalog/configuration dump."""
+    payload = {
         "table": index.table_name,
         "columns": list(index.columns),
         "include": list(index.include),
         "unique": index.unique,
         "name": index.name,
     }
+    if stable_id is not None:
+        payload["id"] = stable_id
+    return payload
 
 
-def _index_from_dict(payload):
+def index_from_dict(payload):
     return Index(
         payload["table"],
         tuple(payload["columns"]),
@@ -213,12 +268,17 @@ def _index_from_dict(payload):
     )
 
 
+# Pre-wire-format private names, kept for compatibility.
+_index_to_dict = index_to_dict
+_index_from_dict = index_from_dict
+
+
 def _layout_to_dict(layout):
     return {
         "table": layout.table_name,
         "fragments": [
-            {"columns": list(f.columns), "name": f.name}
-            for f in layout.fragments
+            {"columns": list(f.columns), "name": f.name, "id": position}
+            for position, f in enumerate(layout.fragments)
         ],
     }
 

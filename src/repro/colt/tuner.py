@@ -197,6 +197,124 @@ class ColtTuner:
         self._stable_epochs = 0
 
     # ------------------------------------------------------------------
+    # Snapshot / restore (the portable-session seam).
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self):
+        """The tuner's full dynamic state as a JSON-compatible dict.
+
+        Everything a restart needs to continue *bit-identically*: the
+        materialized configuration, per-candidate EWMAs (gain and write
+        maintenance) plus probe counters, the per-epoch report, the
+        open epoch's queries and probe spend, and the self-regulating
+        budget.  Settings and catalog are the host's to re-provide —
+        the snapshot is pure dynamic state."""
+        from repro.catalog.serialize import (
+            configuration_to_dict,
+            index_sort_key,
+            index_to_dict,
+            stable_index_ids,
+        )
+
+        ids = stable_index_ids(self.candidates)
+        return {
+            "current": configuration_to_dict(self.current),
+            "pending_alert": (
+                configuration_to_dict(self._pending_alert)
+                if self._pending_alert is not None
+                else None
+            ),
+            "candidates": [
+                {
+                    "index": index_to_dict(state.index, ids[state.index]),
+                    "ewma_gain": state.ewma_gain,
+                    "epoch_gain": state.epoch_gain,
+                    "ewma_maintenance": state.ewma_maintenance,
+                    "epoch_maintenance": state.epoch_maintenance,
+                    "probes": state.probes,
+                    "last_seen_epoch": state.last_seen_epoch,
+                }
+                for state in sorted(
+                    self.candidates.values(),
+                    key=lambda s: index_sort_key(s.index),
+                )
+            ],
+            "report": {
+                "alerts": self.report.alerts,
+                "adoptions": self.report.adoptions,
+                "epochs": [
+                    {
+                        "epoch": e.epoch,
+                        "queries": e.queries,
+                        "observed_cost": e.observed_cost,
+                        "build_cost": e.build_cost,
+                        "whatif_probes": e.whatif_probes,
+                        "alert": e.alert,
+                        "adopted": e.adopted,
+                        "configuration": list(e.configuration),
+                    }
+                    for e in self.report.epochs
+                ],
+            },
+            "epoch_queries": list(self._epoch_queries),
+            "epoch_probes": self._epoch_probes,
+            "epoch_no": self._epoch_no,
+            "stable_epochs": self._stable_epochs,
+            "budget": self._budget,
+        }
+
+    def restore_state(self, payload):
+        """Overwrite the tuner's dynamic state from a
+        :meth:`snapshot_state` payload (built over the same catalog and
+        settings); the subsequent stream continues exactly as if the
+        process had never stopped."""
+        from repro.catalog.serialize import (
+            configuration_from_dict,
+            index_from_dict,
+        )
+
+        self.current = configuration_from_dict(payload["current"])
+        pending = payload.get("pending_alert")
+        self._pending_alert = (
+            configuration_from_dict(pending) if pending is not None else None
+        )
+        self.candidates = {}
+        for entry in payload.get("candidates", ()):
+            index = index_from_dict(entry["index"])
+            self.candidates[index] = _CandidateState(
+                index=index,
+                ewma_gain=entry["ewma_gain"],
+                epoch_gain=entry["epoch_gain"],
+                ewma_maintenance=entry["ewma_maintenance"],
+                epoch_maintenance=entry["epoch_maintenance"],
+                probes=entry["probes"],
+                last_seen_epoch=entry["last_seen_epoch"],
+            )
+        report = payload.get("report", {})
+        self.report = OnlineReport(
+            alerts=report.get("alerts", 0),
+            adoptions=report.get("adoptions", 0),
+            epochs=[
+                EpochRecord(
+                    epoch=e["epoch"],
+                    queries=e["queries"],
+                    observed_cost=e["observed_cost"],
+                    build_cost=e["build_cost"],
+                    whatif_probes=e["whatif_probes"],
+                    alert=e["alert"],
+                    adopted=e["adopted"],
+                    configuration=tuple(e["configuration"]),
+                )
+                for e in report.get("epochs", ())
+            ],
+        )
+        self._epoch_queries = list(payload.get("epoch_queries", ()))
+        self._epoch_probes = payload["epoch_probes"]
+        self._epoch_no = payload["epoch_no"]
+        self._stable_epochs = payload["stable_epochs"]
+        self._budget = payload["budget"]
+
+    # ------------------------------------------------------------------
 
     def _harvest_candidates(self, sql):
         bq = self.session.base_service.bound(sql)

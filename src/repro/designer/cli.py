@@ -5,7 +5,7 @@
     python -m repro recommend  [--budget-frac F] [--solver milp|greedy|...]
     python -m repro online     [--phase-length N] [--epoch N]
     python -m repro stream     [--phase-length N] [--refresh-every N]
-    python -m repro serve      [--tenants N] [--shards N] [--warm-threads N]
+    python -m repro serve      [--tenants N] [--shards N] [--state-dir DIR]
     python -m repro explain    --sql "SELECT ..."
 
 Each subcommand prints the same panels the demo UI shows (benefit tables,
@@ -16,6 +16,7 @@ SDSS/TPC-H tenant fleet over sharded, shared cache pools.
 """
 
 import argparse
+import itertools
 import sys
 
 from repro.catalog import Index
@@ -122,6 +123,17 @@ def build_parser():
     serve.add_argument("--phase-length", type=int, default=30)
     serve.add_argument("--epoch", type=int, default=25)
     serve.add_argument("--refresh-every", type=int, default=40)
+    serve.add_argument(
+        "--state-dir", default=None,
+        help="persist tenant state here (wire format) and resume from a "
+        "previous snapshot on startup; streams continue mid-phase",
+    )
+    serve.add_argument(
+        "--max-events", type=int, default=0,
+        help="stop each tenant after N events this run (0 = run to the "
+        "end of the stream); with --state-dir this simulates a service "
+        "shutdown mid-stream that the next invocation resumes",
+    )
 
     explain = sub.add_parser("explain", help="EXPLAIN one SQL statement")
     explain.add_argument("--sql", required=True)
@@ -263,26 +275,45 @@ def _dispatch(args, out):
             "sdss": (default_phases, args.seed),
             "tpch": (tpch_phases, args.seed + 1),
         }
+        restored = {}
+        if args.state_dir:
+            restored = service.load_state(args.state_dir)
+            if restored:
+                print(
+                    "restored %d tenant(s) from %s"
+                    % (len(restored), args.state_dir),
+                    file=out,
+                )
         streams = {}
         for i in range(args.tenants):
             key = "sdss" if i % 2 == 0 else "tpch"
             name = "%s-%d" % (key, i)
             plane = service.backplane(key)
-            service.add_tenant(
-                name,
-                key,
-                colt_settings=ColtSettings(
-                    epoch_length=args.epoch,
-                    space_budget_pages=int(
-                        sum(t.pages for t in plane.catalog.tables) * 0.5
+            if name not in restored:
+                service.add_tenant(
+                    name,
+                    key,
+                    colt_settings=ColtSettings(
+                        epoch_length=args.epoch,
+                        space_budget_pages=int(
+                            sum(t.pages for t in plane.catalog.tables) * 0.5
+                        ),
                     ),
-                ),
-                recommend_every=args.refresh_every,
-            )
+                    recommend_every=args.refresh_every,
+                )
+            session = service.tenant(name)
             phases_fn, seed = mixes[key]
-            streams[name] = drifting_stream(
-                phases_fn(args.phase_length), seed=seed
+            # The stream is a deterministic function of its seed, so a
+            # restored tenant resumes mid-stream by skipping the events
+            # it already ingested before the snapshot.
+            stream = itertools.islice(
+                drifting_stream(phases_fn(args.phase_length), seed=seed),
+                session.queries,
+                None,
             )
+            if args.max_events:
+                stream = itertools.islice(stream, args.max_events)
+            streams[name] = stream
         # Warm only backplanes a tenant will actually stream against
         # (--tenants 1 leaves the TPC-H backplane empty).
         active = {key for key in mixes
@@ -294,7 +325,12 @@ def _dispatch(args, out):
                 [sql for __, sql in
                  drifting_stream(phases_fn(args.phase_length), seed=seed)],
             )
-        service.run_streams(streams)
+        # A --max-events run is a simulated shutdown: leave epochs open
+        # (no final refresh) so the next invocation resumes seamlessly.
+        service.run_streams(streams, finish=not args.max_events)
+        if args.state_dir:
+            path = service.save_state(args.state_dir)
+            print("state saved to %s" % path, file=out)
         print(service.status_text(), file=out)
         return 0
 

@@ -14,11 +14,18 @@ interaction analyzer) obtains configuration costs through a
 * :mod:`repro.evaluation.evaluator` — the evaluator itself: batched
   (vectorized, optionally multi-threaded) configuration pricing, a
   concurrent cache warm-up, plus the exact per-configuration
-  :class:`~repro.optimizer.CostService` cache.
+  :class:`~repro.optimizer.CostService` cache;
+* :mod:`repro.evaluation.wire` — the versioned, JSON-compatible wire
+  format for signatures, cache entries reduced to plan terms, and
+  tenant/service snapshots (what makes the backplane portable);
+* :mod:`repro.evaluation.process` — the process-pool backplane: cache
+  builds and batch pricing fanned across ``multiprocessing`` workers
+  exchanging wire entries instead of shared memory.
 """
 
 from repro.evaluation.evaluator import BatchEvaluation, WorkloadEvaluator
 from repro.evaluation.pool import InumCachePool, PoolStats
+from repro.evaluation.process import ProcessPoolBackplane
 from repro.evaluation.sharded import ShardedInumCachePool
 from repro.evaluation.signature import query_signature, statement_key
 
@@ -27,6 +34,7 @@ __all__ = [
     "WorkloadEvaluator",
     "InumCachePool",
     "PoolStats",
+    "ProcessPoolBackplane",
     "ShardedInumCachePool",
     "query_signature",
     "statement_key",

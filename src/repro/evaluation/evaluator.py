@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 
 from repro.evaluation.pool import InumCachePool
 from repro.evaluation.signature import statement_key
-from repro.inum.cache import InumCostModel, _DesignView, _build_cache
+from repro.inum.cache import InumCostModel, _DesignView, build_cache
 from repro.optimizer import CostService
 from repro.sql.binder import BoundWrite
 from repro.util import workload_pairs
@@ -143,7 +143,7 @@ class WorkloadEvaluator(InumCostModel):
         # put() inside broadcasts evictions to every subscribed
         # evaluator's _forget, this one included.
         return self.pool.get_or_build(
-            sig, lambda: _build_cache(bq, self.catalog, self.settings)
+            sig, lambda: build_cache(bq, self.catalog, self.settings)
         )
 
     def _forget(self, signature, cache):
@@ -182,6 +182,39 @@ class WorkloadEvaluator(InumCostModel):
             if base is not None:
                 self._exact_services[Configuration.empty()] = base
 
+    def warm_targets(self, workload):
+        """The deduplicated statements a warm-up must build, as
+        ``(bound_query, source_sql, locate)`` triples.
+
+        Write statements contribute their locate query (pure inserts
+        contribute nothing); ``source_sql`` is the statement's original
+        parseable text and ``locate`` marks the rewrite — what the
+        process backplane ships to workers, since locate SQL itself is
+        synthetic.  Shared by the threaded and process warm-up paths so
+        their pinned equivalence cannot drift.
+
+        Dedup is by canonical signature, not SQL text: alias-renamed
+        duplicates share one cache entry, so shipping both to worker
+        processes would pay the full build twice for one installable
+        result.
+        """
+        from repro.optimizer.writecost import locate_query
+
+        targets, seen = [], set()
+        for query, __ in workload_pairs(workload):
+            bq = self.bound(query)
+            source, locate = bq.sql, False
+            if isinstance(bq, BoundWrite):
+                if bq.kind not in ("update", "delete"):
+                    continue
+                locate = True
+                bq = self.bound(locate_query(bq))
+            signature = self.signature(bq)
+            if signature not in seen:
+                seen.add(signature)
+                targets.append((bq, source, locate))
+        return targets
+
     def warm_up(self, workload, threads=None):
         """Pre-build the INUM caches for every workload statement, with
         the builds optionally fanned out across *threads* workers.
@@ -198,19 +231,8 @@ class WorkloadEvaluator(InumCostModel):
         workload iteration single-threaded).  Write statements warm
         their locate query.
         """
-        from repro.optimizer.writecost import locate_query
-
         before = self.precompute_calls
-        targets, seen = [], set()
-        for query, __ in workload_pairs(workload):
-            bq = self.bound(query)
-            if isinstance(bq, BoundWrite):
-                if bq.kind not in ("update", "delete"):
-                    continue
-                bq = self.bound(locate_query(bq))
-            if bq.sql not in seen:
-                seen.add(bq.sql)
-                targets.append(bq)
+        targets = [bq for bq, __, __ in self.warm_targets(workload)]
         if threads is not None and threads > 1 and len(targets) > 1:
             with ThreadPoolExecutor(max_workers=threads) as executor:
                 # list() propagates the first worker exception, if any.
@@ -295,9 +317,9 @@ class WorkloadEvaluator(InumCostModel):
             cbq = cache.bound_query
             plans = []
             touched = set()
-            for cached in cache.plans:
+            for internal_cost, slots in cache.plan_terms():
                 ids = []
-                for slot in cached.slots:
+                for slot in slots:
                     key = (cbq.sql, slot)
                     sid = slot_ids.get(key)
                     if sid is None:
@@ -307,7 +329,7 @@ class WorkloadEvaluator(InumCostModel):
                         tables.add(slot.table_name)
                     ids.append(sid)
                     touched.add(slot.table_name)
-                plans.append((cached.internal_cost, tuple(ids)))
+                plans.append((internal_cost, tuple(ids)))
             compiled.statements.append(
                 _CompiledStatement(
                     weight=weight,

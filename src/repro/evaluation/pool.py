@@ -37,6 +37,15 @@ class PoolStats:
         probes = self.hits + self.misses
         return self.hits / probes if probes else 0.0
 
+    def copy(self):
+        """A detached value copy (merge inputs must not mutate mid-sum)."""
+        return PoolStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            optimizer_calls=self.optimizer_calls,
+        )
+
     @classmethod
     def merged(cls, parts):
         """One snapshot summing *parts* — how a sharded pool reports the
@@ -211,6 +220,14 @@ class InumCachePool:
             with self._lock:
                 self._flights.pop(signature, None)
             flight.done.set()
+
+    def stats_snapshot(self):
+        """A consistent point-in-time copy of the counters, taken under
+        the pool lock — no torn reads while builders and evictors run on
+        other threads.  Sharded pools merge these (in fixed shard order)
+        so stats-based assertions never depend on thread timing."""
+        with self._lock:
+            return self.stats.copy()
 
     def clear(self):
         """Drop every entry; broadcasts the drops to subscribed

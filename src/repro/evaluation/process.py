@@ -1,0 +1,274 @@
+"""The process-pool costing backplane: real CPU scaling for warm-up.
+
+Thread fan-out (``WorkloadEvaluator.warm_up(threads=…)``) shares one
+interpreter, so cache builds — pure-Python optimizer planning — stay
+GIL-bound.  :class:`ProcessPoolBackplane` fans the same work across
+``multiprocessing`` workers instead, following the stale-synchronous
+idea of exchanging compact deltas rather than shared memory:
+
+* each worker receives the **catalog dictionary** once (via
+  :mod:`repro.catalog.serialize`, in the pool initializer) and rebuilds
+  its own catalog + private :class:`WorkloadEvaluator`; statistics
+  rebuild deterministically, so worker-built plan terms are
+  bit-identical to parent-built ones;
+
+* tasks carry **SQL texts**, results come back as **wire-format cache
+  entries** (:mod:`repro.evaluation.wire`: signature + plan terms, no
+  live plan trees, no catalogs) which the parent re-binds against its
+  own catalog and installs into the shared pool — typically a
+  :class:`~repro.evaluation.ShardedInumCachePool`;
+
+* :meth:`evaluate_configurations` partitions the workload's statements
+  across workers, each pricing its chunk against every configuration;
+  the parent reassembles the same
+  :class:`~repro.evaluation.BatchEvaluation` the in-process path
+  returns, entry for entry.
+
+Results are pinned bit-identical to the single-process path; the pool
+only changes wall-clock time.  With ``processes <= 1`` every call
+degrades to the in-process evaluator and no worker pool is spawned —
+the explicit opt-out for platforms where ``multiprocessing`` is
+unavailable or too expensive.
+"""
+
+import multiprocessing
+import os
+
+from repro.catalog.serialize import (
+    catalog_from_dict,
+    catalog_to_dict,
+    configuration_from_dict,
+    configuration_to_dict,
+)
+from repro.evaluation import wire
+from repro.util import workload_pairs
+
+__all__ = ["ProcessPoolBackplane"]
+
+# Per-worker-process state, installed once by _init_worker.
+_WORKER_EVALUATOR = None
+
+
+def _init_worker(catalog_payload, settings, pool_capacity):
+    """Pool initializer: rebuild the catalog from its serialized form
+    (fresh deterministic statistics) and stand up a private evaluator.
+    ``pool_capacity`` mirrors the parent pool's bound, so a memory-capped
+    host stays capped in its long-lived workers too."""
+    global _WORKER_EVALUATOR
+    from repro.evaluation.evaluator import WorkloadEvaluator
+    from repro.evaluation.pool import InumCachePool
+
+    catalog = catalog_from_dict(catalog_payload)
+    _WORKER_EVALUATOR = WorkloadEvaluator(
+        catalog, settings, pool=InumCachePool(capacity=pool_capacity)
+    )
+
+
+def _entries_for(signatures):
+    """Wire-encode the worker-pool entries behind *signatures*."""
+    evaluator = _WORKER_EVALUATOR
+    out = []
+    for signature in signatures:
+        cache = evaluator.pool.get(signature)
+        if cache is not None:
+            out.append(wire.dumps(wire.entry_to_wire(signature, cache)))
+    return out
+
+
+def _warm_task(task):
+    """Build one query's INUM cache; return it as a wire entry.
+
+    ``task`` is ``(sql, locate)``: locate targets ship the originating
+    write statement (their own text is synthetic) and the worker
+    re-derives the locate query, mirroring ``wire.entry_from_wire``."""
+    from repro.optimizer.writecost import locate_query
+
+    sql, locate = task
+    evaluator = _WORKER_EVALUATOR
+    bq = evaluator.bound(sql)
+    if locate:
+        bq = locate_query(bq)
+    cache = evaluator.cache_for(bq)
+    signature = evaluator.signature(bq)
+    return wire.dumps(wire.entry_to_wire(signature, cache))
+
+
+def _evaluate_task(task):
+    """Price a chunk of statements against every configuration.
+
+    Returns ``(start, columns, entries)``: the chunk's offset in the
+    statement order, one cost column (cost under each configuration)
+    per statement, and the wire entries for every cache the chunk
+    built — so the parent's pool is warmed as a side effect, exactly
+    like the in-process path."""
+    start, sqls, config_payloads = task
+    evaluator = _WORKER_EVALUATOR
+    configurations = [
+        configuration_from_dict(payload) for payload in config_payloads
+    ]
+    before = set(evaluator.pool.signatures())
+    batch = evaluator.evaluate_configurations(sqls, configurations)
+    built = [
+        signature for signature in evaluator.pool.signatures()
+        if signature not in before
+    ]
+    columns = [
+        [batch.matrix[c][s] for c in range(len(configurations))]
+        for s in range(len(sqls))
+    ]
+    return start, columns, _entries_for(built)
+
+
+class ProcessPoolBackplane:
+    """Fan INUM cache builds and batch pricing across worker processes.
+
+    ``evaluator`` is the parent-side :class:`WorkloadEvaluator` whose
+    pool receives the shipped entries.  ``processes`` defaults to
+    ``min(4, os.cpu_count())``; ``start_method`` picks the
+    ``multiprocessing`` context (default: ``fork`` where available —
+    cheapest worker start — else the platform default).
+
+    The worker pool is created lazily on first use and reused across
+    calls; use the context-manager form (or :meth:`close`) to reap it.
+    """
+
+    def __init__(self, evaluator, processes=None, start_method=None):
+        if processes is None:
+            processes = min(4, os.cpu_count() or 1)
+        self.evaluator = evaluator
+        self.processes = processes
+        self.start_method = start_method
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle.
+    # ------------------------------------------------------------------
+
+    def _context(self):
+        if self.start_method is not None:
+            return multiprocessing.get_context(self.start_method)
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:
+            return multiprocessing.get_context()
+
+    def _worker_pool(self):
+        if self._pool is None:
+            payload = catalog_to_dict(self.evaluator.catalog)
+            capacity = getattr(self.evaluator.pool, "capacity", None)
+            self._pool = self._context().Pool(
+                processes=self.processes,
+                initializer=_init_worker,
+                initargs=(payload, self.evaluator.settings, capacity),
+            )
+        return self._pool
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Warm-up.
+    # ------------------------------------------------------------------
+
+    def _warm_targets(self, workload):
+        """Build targets not already resident in the parent pool, as
+        ``(bq, task)`` pairs: the parent's bound statement plus the
+        ``(sql, locate)`` task shipped to workers.  Target collection
+        itself (write filtering, locate rewriting, dedup) is the
+        evaluator's :meth:`~WorkloadEvaluator.warm_targets`, shared
+        with the in-process warm-up so the two paths cannot drift."""
+        evaluator = self.evaluator
+        return [
+            (bq, (source, locate))
+            for bq, source, locate in evaluator.warm_targets(workload)
+            if evaluator.signature(bq) not in evaluator.pool
+        ]
+
+    def warm_up(self, workload):
+        """Pre-build every workload statement's cache across the worker
+        processes and install the results into the parent pool.
+
+        Returns the optimizer calls spent, like
+        :meth:`WorkloadEvaluator.warm_up`; the installed entries are
+        bit-identical to a single-process warm-up (pinned in the claim
+        benchmark and the wire test suite)."""
+        evaluator = self.evaluator
+        before = evaluator.precompute_calls
+        targets = self._warm_targets(workload)
+        if not targets:
+            return 0
+        if self.processes <= 1:
+            for bq, __ in targets:
+                evaluator.cache_for(bq)
+            return evaluator.precompute_calls - before
+        pool = self._worker_pool()
+        tasks = [task for __, task in targets]
+        for text in pool.imap_unordered(_warm_task, tasks, chunksize=1):
+            signature, cache = wire.loads(text, evaluator.catalog)
+            if signature not in evaluator.pool:
+                evaluator.pool.put(signature, cache)
+        return evaluator.precompute_calls - before
+
+    # ------------------------------------------------------------------
+    # Batched evaluation.
+    # ------------------------------------------------------------------
+
+    def evaluate_configurations(self, workload, configurations):
+        """Price all *configurations* against all of *workload*, with the
+        statements partitioned across worker processes.
+
+        Returns the same :class:`BatchEvaluation` the in-process
+        evaluator produces (same configuration order, same weights,
+        bit-identical matrix); caches built by workers are shipped back
+        and installed into the parent pool."""
+        from repro.evaluation.evaluator import BatchEvaluation
+        from repro.whatif import Configuration
+
+        evaluator = self.evaluator
+        pairs = [
+            (evaluator.bound(q).sql, w) for q, w in workload_pairs(workload)
+        ]
+        configurations = [c or Configuration.empty() for c in configurations]
+        if self.processes <= 1 or len(pairs) < 2:
+            return evaluator.evaluate_configurations(pairs, configurations)
+        config_payloads = [
+            configuration_to_dict(config) for config in configurations
+        ]
+        chunk = max(1, (len(pairs) + self.processes - 1) // self.processes)
+        tasks = [
+            (
+                start,
+                [sql for sql, __ in pairs[start:start + chunk]],
+                config_payloads,
+            )
+            for start in range(0, len(pairs), chunk)
+        ]
+        columns = [None] * len(pairs)
+        pool = self._worker_pool()
+        for start, chunk_columns, entries in pool.imap_unordered(
+            _evaluate_task, tasks
+        ):
+            for offset, column in enumerate(chunk_columns):
+                columns[start + offset] = column
+            for text in entries:
+                signature, cache = wire.loads(text, evaluator.catalog)
+                if signature not in evaluator.pool:
+                    evaluator.pool.put(signature, cache)
+        matrix = [
+            [columns[s][c] for s in range(len(pairs))]
+            for c in range(len(configurations))
+        ]
+        return BatchEvaluation(
+            configurations=list(configurations),
+            weights=[w for __, w in pairs],
+            matrix=matrix,
+        )

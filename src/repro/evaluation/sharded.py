@@ -130,12 +130,22 @@ class ShardedInumCachePool:
     def stats(self):
         """Merged :class:`PoolStats` snapshot over all shards.  Unlike
         the flat pool's live object this is recomputed per read; treat it
-        as a point-in-time view."""
-        return PoolStats.merged(shard.stats for shard in self._shards)
+        as a point-in-time view.
+
+        Deterministic under concurrency: each shard's counters are
+        copied under that shard's lock (no torn reads mid-eviction) and
+        the copies merge in fixed shard order, so two reads of a quiet
+        pool — and stats-based test assertions — never depend on thread
+        timing."""
+        return PoolStats.merged(
+            shard.stats_snapshot() for shard in self._shards
+        )
 
     def shard_stats(self):
-        """Per-shard ``(size, stats-dict)`` pairs, for status panels and
-        balance checks."""
+        """Per-shard ``(size, stats-dict)`` pairs in fixed shard order,
+        for status panels and balance checks; counters are lock-consistent
+        copies, like :attr:`stats`."""
         return [
-            (len(shard), shard.stats.as_dict()) for shard in self._shards
+            (len(shard), shard.stats_snapshot().as_dict())
+            for shard in self._shards
         ]

@@ -1,0 +1,231 @@
+"""The portable wire format: plan terms, signatures, and session state.
+
+The paper's designer is explicitly *portable* — tuning sessions move
+between machines and survive restarts, and the INUM cache is the unit
+that makes re-costing cheap.  This module gives the backplane's derived
+state a canonical, versioned, JSON-compatible form:
+
+* **query signatures** — the cache pool's keys — encoded losslessly
+  (they are nested tuples of primitives; the codec freezes JSON arrays
+  back into tuples so equality and hashing survive the round trip);
+
+* **INUM cache entries** reduced to *plan terms*: per-plan internal
+  cost plus :class:`~repro.inum.cache.AccessSlot` records and the
+  interesting-order vector.  No live :class:`~repro.optimizer.plan.Plan`
+  nodes cross the wire — a deserialized entry re-binds its SQL against
+  the receiving catalog and evaluates with bit-identical costs, because
+  slot pricing is a pure function of the slot fields, the bound query,
+  and the catalog statistics (which rebuild deterministically from the
+  serialized distributions, exactly as a fresh ANALYZE would);
+
+* **tuner / tenant-session state** (epoch counters, COLT candidate
+  EWMAs, the sliding window, the drift phase) — the payloads behind
+  :meth:`TenantSession.snapshot` and :meth:`TuningService.snapshot`,
+  so a service restart resumes tenants mid-stream.
+
+Every payload is stamped with :data:`WIRE_VERSION`; :func:`loads`
+rejects a mismatch with :class:`~repro.util.WireFormatError` instead of
+guessing.  Consumers: the :class:`~repro.evaluation.process.ProcessPoolBackplane`
+ships entries from worker processes to the parent pool, and
+``python -m repro serve --state-dir`` persists whole-service snapshots.
+"""
+
+import json
+
+from repro.inum.cache import AccessSlot, CachedPlan, QueryCache
+from repro.sql.binder import bind_statement
+from repro.util import WireFormatError
+
+__all__ = [
+    "WIRE_VERSION",
+    "KIND_ENTRY",
+    "KIND_TENANT",
+    "KIND_SERVICE",
+    "signature_to_wire",
+    "signature_from_wire",
+    "slot_to_wire",
+    "slot_from_wire",
+    "plan_to_wire",
+    "plan_from_wire",
+    "entry_to_wire",
+    "entry_from_wire",
+    "dumps",
+    "loads",
+    "check_version",
+]
+
+WIRE_VERSION = 1
+
+KIND_ENTRY = "inum-cache-entry"
+KIND_TENANT = "tenant-session"
+KIND_SERVICE = "tuning-service"
+
+
+# ----------------------------------------------------------------------
+# Signatures: nested tuples of primitives <-> nested JSON arrays.
+# ----------------------------------------------------------------------
+
+_PRIMITIVES = (str, int, float, bool, type(None))
+
+
+def signature_to_wire(signature):
+    """Encode a canonical query signature (nested tuples of primitives)
+    as nested JSON arrays.  Signatures contain no native lists, so the
+    tuple<->array mapping is bijective."""
+    if isinstance(signature, tuple):
+        return [signature_to_wire(part) for part in signature]
+    if isinstance(signature, frozenset):
+        raise WireFormatError("signatures never contain sets")
+    if not isinstance(signature, _PRIMITIVES):
+        raise WireFormatError(
+            "non-primitive %r in signature" % (type(signature).__name__,)
+        )
+    return signature
+
+
+def signature_from_wire(payload):
+    """Freeze nested JSON arrays back into the original tuple shape."""
+    if isinstance(payload, list):
+        return tuple(signature_from_wire(part) for part in payload)
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Plan terms: AccessSlot / CachedPlan / whole cache entries.
+# ----------------------------------------------------------------------
+
+
+def slot_to_wire(slot):
+    return {
+        "alias": slot.alias,
+        "table": slot.table_name,
+        "required_order": slot.required_order,
+        "param_columns": list(slot.param_columns),
+        "probes": slot.probes,
+        "scale": slot.scale,
+    }
+
+
+def slot_from_wire(payload):
+    return AccessSlot(
+        alias=payload["alias"],
+        table_name=payload["table"],
+        required_order=payload.get("required_order"),
+        param_columns=tuple(payload.get("param_columns", ())),
+        probes=payload.get("probes", 1.0),
+        scale=payload.get("scale", 1.0),
+    )
+
+
+def plan_to_wire(cached):
+    return {
+        "internal_cost": cached.internal_cost,
+        "slots": [slot_to_wire(slot) for slot in cached.slots],
+        "order_vector": [list(pair) for pair in cached.order_vector],
+    }
+
+
+def plan_from_wire(payload):
+    return CachedPlan(
+        internal_cost=payload["internal_cost"],
+        slots=tuple(slot_from_wire(d) for d in payload["slots"]),
+        order_vector=tuple(
+            tuple(pair) for pair in payload.get("order_vector", ())
+        ),
+    )
+
+
+def entry_to_wire(signature, cache):
+    """One pool entry — ``(signature, QueryCache)`` — as plan terms.
+
+    The bound query travels as SQL text: the receiver re-binds it
+    against its own catalog, which is what makes entries portable
+    across processes and machines (catalogs move independently through
+    :mod:`repro.catalog.serialize`).  Locate queries (the synthetic
+    SELECTs pricing UPDATE/DELETE row location) have no parseable text,
+    so the entry ships the originating write statement with a marker
+    and the receiver re-derives the locate query."""
+    from repro.optimizer.writecost import LOCATE_PREFIX
+
+    sql = cache.bound_query.sql
+    locate = sql.startswith(LOCATE_PREFIX)
+    if locate:
+        sql = sql[len(LOCATE_PREFIX):]
+    return {
+        "kind": KIND_ENTRY,
+        "signature": signature_to_wire(signature),
+        "sql": sql,
+        "locate": locate,
+        "build_optimizer_calls": cache.build_optimizer_calls,
+        "plans": [plan_to_wire(cached) for cached in cache.plans],
+    }
+
+
+def entry_from_wire(payload, catalog):
+    """Rebuild ``(signature, QueryCache)`` from a wire payload.
+
+    Costs are bit-identical to the originating entry: the plan terms are
+    carried verbatim (JSON round-trips finite floats exactly), and slot
+    re-pricing depends only on those terms plus the re-bound query."""
+    if payload.get("kind") != KIND_ENTRY:
+        raise WireFormatError(
+            "expected %r payload, got %r" % (KIND_ENTRY, payload.get("kind"))
+        )
+    bq = bind_statement(payload["sql"], catalog)
+    if payload.get("locate"):
+        from repro.optimizer.writecost import locate_query
+
+        bq = locate_query(bq)
+    cache = QueryCache.from_plan_terms(
+        bq,
+        (plan_from_wire(d) for d in payload["plans"]),
+        build_optimizer_calls=payload.get("build_optimizer_calls", 0),
+    )
+    return signature_from_wire(payload["signature"]), cache
+
+
+# ----------------------------------------------------------------------
+# Envelope: version stamping and checked parsing.
+# ----------------------------------------------------------------------
+
+
+def dumps(payload, indent=None):
+    """Serialize a wire payload (entry/tenant/service dict) to JSON with
+    the version stamped into the envelope."""
+    body = dict(payload)
+    body["wire_version"] = WIRE_VERSION
+    return json.dumps(body, sort_keys=True, indent=indent)
+
+
+def check_version(payload):
+    """Validate the envelope; raises :class:`WireFormatError` on any
+    version mismatch (no silent best-effort parsing of foreign data)."""
+    if not isinstance(payload, dict):
+        raise WireFormatError("wire payload must be a JSON object")
+    version = payload.get("wire_version")
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            "unsupported wire version %r (this build speaks %d)"
+            % (version, WIRE_VERSION)
+        )
+    return payload
+
+
+def loads(text, catalog=None):
+    """Parse a wire-format JSON string.
+
+    Cache-entry payloads need *catalog* and return ``(signature,
+    QueryCache)``; tenant/service payloads return the validated dict —
+    they are materialized by :meth:`TenantSession.from_snapshot` /
+    :meth:`TuningService.restore`, which own the live objects."""
+    payload = check_version(json.loads(text))
+    kind = payload.get("kind")
+    if kind == KIND_ENTRY:
+        if catalog is None:
+            raise WireFormatError(
+                "deserializing a cache entry requires a catalog"
+            )
+        return entry_from_wire(payload, catalog)
+    if kind in (KIND_TENANT, KIND_SERVICE):
+        return payload
+    raise WireFormatError("unknown wire payload kind %r" % (kind,))

@@ -13,6 +13,20 @@ configuration's catalog overlay, so vertical fragments and pruned
 horizontal partitions are priced by the same analytic path generator.
 """
 
-from repro.inum.cache import AccessSlot, CachedPlan, InumCostModel, QueryCache
+from repro.inum.cache import (
+    AccessSlot,
+    CachedPlan,
+    InumCostModel,
+    QueryCache,
+    build_cache,
+    extract_plan_terms,
+)
 
-__all__ = ["AccessSlot", "CachedPlan", "InumCostModel", "QueryCache"]
+__all__ = [
+    "AccessSlot",
+    "CachedPlan",
+    "InumCostModel",
+    "QueryCache",
+    "build_cache",
+    "extract_plan_terms",
+]

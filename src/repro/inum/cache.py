@@ -39,7 +39,14 @@ _TMP_PREFIX = "inum_tmp_"
 
 @dataclass(frozen=True)
 class AccessSlot:
-    """One base-table access in a cached plan skeleton."""
+    """One base-table access in a cached plan skeleton.
+
+    Every field is a primitive (strings, floats, a tuple of column
+    names), which is what makes slots — and therefore whole cache
+    entries — portable: :mod:`repro.evaluation.wire` serializes them
+    verbatim, and re-pricing a slot needs only these fields plus the
+    owning bound query.
+    """
 
     alias: str
     table_name: str
@@ -51,11 +58,21 @@ class AccessSlot:
 
 @dataclass(frozen=True)
 class CachedPlan:
-    """Internal (access-independent) cost plus access slots."""
+    """One plan's *terms*: internal (access-independent) cost plus
+    access slots — everything evaluation needs, with no reference to
+    live :class:`~repro.optimizer.plan.Plan` nodes.  Plan trees are
+    consumed once at build time (:func:`extract_plan_terms`) and kept
+    only by the explain path; evaluation and the wire format see terms.
+    """
 
     internal_cost: float
     slots: tuple
     order_vector: tuple  # ((alias, column-or-None), ...) for debugging
+
+    @property
+    def terms(self):
+        """The ``(internal_cost, slots)`` pair evaluation consumes."""
+        return self.internal_cost, self.slots
 
 
 @dataclass
@@ -65,6 +82,31 @@ class QueryCache:
     bound_query: BoundQuery
     plans: list = field(default_factory=list)
     build_optimizer_calls: int = 0
+    _terms: tuple = field(default=None, repr=False, compare=False)
+
+    @property
+    def sql(self):
+        return self.bound_query.sql
+
+    def plan_terms(self):
+        """Every plan reduced to ``(internal_cost, slots)`` terms.
+
+        Memoized on first call — ``plans`` is immutable once the build
+        returns, and this sits on the per-query per-configuration hot
+        path, which must stay allocation-free."""
+        if self._terms is None or len(self._terms) != len(self.plans):
+            self._terms = tuple(cached.terms for cached in self.plans)
+        return self._terms
+
+    @classmethod
+    def from_plan_terms(cls, bound_query, plans, build_optimizer_calls=0):
+        """Rebuild a cache entry from plan terms (the wire-format path):
+        no optimizer runs, the plans are installed as given."""
+        return cls(
+            bound_query=bound_query,
+            plans=list(plans),
+            build_optimizer_calls=build_optimizer_calls,
+        )
 
 
 class InumCostModel:
@@ -100,7 +142,7 @@ class InumCostModel:
         cache = self._caches.get(key)
         if cache is None:
             bq = self.bound(query)
-            cache = _build_cache(bq, self.catalog, self.settings)
+            cache = build_cache(bq, self.catalog, self.settings)
             self._caches[key] = cache
             self._caches[bq.sql] = cache
         return cache
@@ -164,12 +206,18 @@ class InumCostModel:
         return bucket[key]
 
     def _evaluate(self, cache, view):
+        """Price a cache entry under *view* from its plan terms alone.
+
+        Consumes ``(internal_cost, slots)`` pairs — never live plan
+        trees — so an entry deserialized from the wire format evaluates
+        exactly like one built in-process.
+        """
         bq = cache.bound_query
         best = math.inf
-        for cached in cache.plans:
-            total = cached.internal_cost
+        for internal_cost, slots in cache.plan_terms():
+            total = internal_cost
             feasible = True
-            for slot in cached.slots:
+            for slot in slots:
                 cost = self.slot_cost(bq, slot, view)
                 if cost is None:
                     feasible = False
@@ -211,11 +259,11 @@ class InumCostModel:
         bq = cache.bound_query
         best = math.inf
         best_used = frozenset()
-        for cached in cache.plans:
-            total = cached.internal_cost
+        for internal_cost, slots in cache.plan_terms():
+            total = internal_cost
             used = set()
             feasible = True
-            for slot in cached.slots:
+            for slot in slots:
                 choice = _access_cost(slot, bq, view, self.settings, want_choice=True)
                 if choice is None:
                     feasible = False
@@ -294,7 +342,9 @@ def _order_vectors(bq):
     return vectors[:MAX_VECTORS_PER_QUERY]
 
 
-def _build_cache(bq, catalog, settings):
+def build_cache(bq, catalog, settings):
+    """Build the INUM cache entry for one bound query: plan each
+    interesting-order vector and reduce every plan tree to terms."""
     cache = QueryCache(bound_query=bq)
     seen = set()
     for vector in _order_vectors(bq):
@@ -316,7 +366,7 @@ def _build_cache(bq, catalog, settings):
             )
         plan = plan_query(bq, overlay, settings)
         cache.build_optimizer_calls += 1
-        cached = _extract(plan, bq, dict(vector))
+        cached = extract_plan_terms(plan, bq, dict(vector))
         key = (round(cached.internal_cost, 6), cached.slots)
         if key not in seen:
             seen.add(key)
@@ -324,8 +374,16 @@ def _build_cache(bq, catalog, settings):
     return cache
 
 
-def _extract(plan, bq, order_by_alias):
-    """Split a plan into internal cost + access slots."""
+# Backward-compatible alias (pre-wire-format name).
+_build_cache = build_cache
+
+
+def extract_plan_terms(plan, bq, order_by_alias):
+    """Split a plan tree into terms: internal cost + access slots.
+
+    This is the only place evaluation ever touches a live plan tree;
+    everything downstream (``_evaluate``, the batch compiler, the wire
+    format) works on the returned :class:`CachedPlan` terms."""
     contributions = {}  # alias -> (cost_contribution, slot)
     _walk_scans(plan, 1.0, 1.0, contributions, bq, order_by_alias)
     internal = plan.total_cost - sum(c for c, __ in contributions.values())

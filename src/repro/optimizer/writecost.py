@@ -24,6 +24,12 @@ from repro.sql.binder import BoundQuery
 HEAP_DIRTY_PER_ROW = 0.05
 INDEX_LEAF_DIRTY_PER_ROW = 0.05
 
+# Synthetic-SQL marker for locate queries.  Their text is not
+# re-parseable (there is no real SELECT), so wire-format consumers ship
+# the originating write statement instead and re-derive the locate
+# query on the receiving side.
+LOCATE_PREFIX = "<locate> "
+
 
 def locate_query(bound_write):
     """The SELECT-equivalent used to price finding the affected rows."""
@@ -45,7 +51,7 @@ def locate_query(bound_write):
         order_by=(),
         limit=None,
         has_star=False,
-        _sql="<locate> " + (bound_write.sql or ""),
+        _sql=LOCATE_PREFIX + (bound_write.sql or ""),
     )
 
 

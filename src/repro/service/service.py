@@ -22,14 +22,17 @@ This module is the long-lived service layer over the same components:
   pool statistics, cheap enough to poll.
 """
 
+import os
 import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.evaluation import ShardedInumCachePool, WorkloadEvaluator
+from repro.evaluation import ShardedInumCachePool, WorkloadEvaluator, wire
 from repro.service.tenant import TenantSession
-from repro.util import DesignError
+from repro.util import DesignError, WireFormatError
+
+STATE_FILENAME = "service.json"
 
 
 @dataclass
@@ -184,6 +187,102 @@ class TuningService:
                 for future in futures:
                     future.result()
         return self.status()
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (wire format).
+    # ------------------------------------------------------------------
+
+    def snapshot(self):
+        """The whole service's tenant state as one wire-format payload.
+
+        Catalogs are *not* embedded: backplanes are re-registered by the
+        host on restart (they carry the heavyweight live objects), and
+        each tenant's snapshot records which backplane key it belongs
+        to.  Pool contents are rebuilt on demand — they are a cache,
+        not state."""
+        with self._lock:
+            tenant_keys = {
+                name: key
+                for key, plane in self._backplanes.items()
+                for name in plane.tenants
+            }
+            return {
+                "kind": wire.KIND_SERVICE,
+                "backplanes": list(self._backplanes),
+                "tenants": [
+                    {
+                        "backplane": tenant_keys[name],
+                        "session": session.snapshot(),
+                    }
+                    for name, session in self._tenants.items()
+                ],
+            }
+
+    def restore(self, payload):
+        """Rebuild every tenant session from a :meth:`snapshot` payload.
+
+        The host must have re-registered (at least) the backplanes the
+        snapshot's tenants reference, over equivalent catalogs; restored
+        tenants then continue their streams exactly where the snapshot
+        left them.  Returns the restored sessions by name."""
+        if payload.get("kind") != wire.KIND_SERVICE:
+            raise WireFormatError(
+                "expected %r payload, got %r"
+                % (wire.KIND_SERVICE, payload.get("kind"))
+            )
+        entries = list(payload.get("tenants", ()))
+        with self._lock:
+            # All-or-nothing: validate names/backplanes and materialize
+            # every session *before* registering any, so a snapshot with
+            # a missing backplane or one malformed session payload fails
+            # cleanly and the retry — after the operator fixes it —
+            # starts from scratch instead of tripping over a
+            # half-restored service.
+            seen = set()
+            for entry in entries:
+                self.backplane(entry["backplane"])
+                name = entry["session"]["name"]
+                if name in self._tenants or name in seen:
+                    raise DesignError(
+                        "tenant %r already registered" % (name,)
+                    )
+                seen.add(name)
+            built = []
+            for entry in entries:
+                plane = self.backplane(entry["backplane"])
+                session = TenantSession.from_snapshot(
+                    entry["session"], plane.catalog, plane.evaluator
+                )
+                built.append((plane, session))
+            restored = {}
+            for plane, session in built:
+                self._tenants[session.name] = session
+                plane.tenants.append(session.name)
+                restored[session.name] = session
+            return restored
+
+    def save_state(self, state_dir):
+        """Write the service snapshot to ``<state_dir>/service.json``
+        (atomic rename, so a crash mid-write never corrupts the last
+        good snapshot).  Returns the path written."""
+        os.makedirs(state_dir, exist_ok=True)
+        path = os.path.join(state_dir, STATE_FILENAME)
+        scratch = path + ".tmp"
+        with open(scratch, "w") as f:
+            f.write(wire.dumps(self.snapshot(), indent=2))
+        os.replace(scratch, path)
+        return path
+
+    def load_state(self, state_dir):
+        """Restore tenants from ``<state_dir>/service.json`` if present;
+        returns the restored sessions by name (empty dict when the
+        directory holds no snapshot — a cold start)."""
+        path = os.path.join(state_dir, STATE_FILENAME)
+        if not os.path.exists(path):
+            return {}
+        with open(path) as f:
+            payload = wire.loads(f.read())
+        return self.restore(payload)
 
     # ------------------------------------------------------------------
     # Monitoring.

@@ -23,10 +23,12 @@ concurrently.
 """
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.colt import ColtSettings
 from repro.designer.facade import Designer
+from repro.evaluation import wire
+from repro.util import WireFormatError
 
 
 @dataclass(frozen=True)
@@ -171,6 +173,110 @@ class TenantSession:
             )
         )
         return rec
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (wire format).
+    # ------------------------------------------------------------------
+
+    def snapshot(self):
+        """The session's full state as a wire-format payload.
+
+        Captures the construction knobs (COLT settings, refresh policy,
+        window size, budget) plus every piece of dynamic state — epoch
+        counters and candidate EWMAs (via
+        :meth:`~repro.colt.ColtTuner.snapshot_state`), the sliding
+        query window, the drift phase, drift events and recommendation
+        records — so :meth:`from_snapshot` over the same catalog and
+        evaluator continues the stream exactly where it stopped.
+        ``last_recommendation`` (a live object graph) is summarized by
+        its record; only the full object is dropped."""
+        return {
+            "kind": wire.KIND_TENANT,
+            "name": self.name,
+            "options": {
+                "colt_settings": asdict(self.tuner.settings),
+                "recommend_every": self.recommend_every,
+                "window": self.window.maxlen,
+                "budget_pages": self.budget_pages,
+                "solver": self.solver,
+                "refresh_on_drift": self.refresh_on_drift,
+                "partitions": self.partitions,
+            },
+            "queries": self.queries,
+            "phase": self._phase,
+            "phases_seen": list(self._phases_seen),
+            "window_queries": list(self.window),
+            "finished": self._finished,
+            "drift_events": [
+                {
+                    "at_query": e.at_query,
+                    "from_phase": e.from_phase,
+                    "to_phase": e.to_phase,
+                }
+                for e in self.drift_events
+            ],
+            "recommendations": [
+                {
+                    "at_query": r.at_query,
+                    "phase": r.phase,
+                    "trigger": r.trigger,
+                    "indexes": list(r.indexes),
+                    "improvement_pct": r.improvement_pct,
+                }
+                for r in self.recommendations
+            ],
+            "tuner": self.tuner.snapshot_state(),
+        }
+
+    @classmethod
+    def from_snapshot(cls, payload, catalog, evaluator, name=None):
+        """Rebuild a session from a :meth:`snapshot` payload over the
+        host-provided *catalog* and *evaluator* (state is portable, the
+        costing substrate is re-provided — exactly like the INUM cache
+        entries themselves)."""
+        if payload.get("kind") != wire.KIND_TENANT:
+            raise WireFormatError(
+                "expected %r payload, got %r"
+                % (wire.KIND_TENANT, payload.get("kind"))
+            )
+        options = payload["options"]
+        session = cls(
+            name if name is not None else payload["name"],
+            catalog,
+            evaluator,
+            colt_settings=ColtSettings(**options["colt_settings"]),
+            recommend_every=options["recommend_every"],
+            window=options["window"],
+            solver=options["solver"],
+            refresh_on_drift=options["refresh_on_drift"],
+            partitions=options["partitions"],
+        )
+        session.budget_pages = options["budget_pages"]
+        session.queries = payload["queries"]
+        session._phase = payload["phase"]
+        session._phases_seen = list(payload["phases_seen"])
+        session.window.extend(payload["window_queries"])
+        session._finished = payload["finished"]
+        session.drift_events = [
+            DriftEvent(
+                at_query=e["at_query"],
+                from_phase=e["from_phase"],
+                to_phase=e["to_phase"],
+            )
+            for e in payload["drift_events"]
+        ]
+        session.recommendations = [
+            RecommendationRecord(
+                at_query=r["at_query"],
+                phase=r["phase"],
+                trigger=r["trigger"],
+                indexes=tuple(r["indexes"]),
+                improvement_pct=r["improvement_pct"],
+            )
+            for r in payload["recommendations"]
+        ]
+        session.tuner.restore_state(payload["tuner"])
+        return session
 
     # ------------------------------------------------------------------
     # Monitoring.

@@ -7,6 +7,7 @@ from repro.util.errors import (
     BindError,
     PlanningError,
     DesignError,
+    WireFormatError,
 )
 from repro.util.maths import align8, ceil_div, clamp, safe_log2
 
@@ -33,6 +34,7 @@ __all__ = [
     "BindError",
     "PlanningError",
     "DesignError",
+    "WireFormatError",
     "align8",
     "ceil_div",
     "clamp",

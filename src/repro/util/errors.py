@@ -38,3 +38,8 @@ class PlanningError(ReproError):
 class DesignError(ReproError):
     """Raised by designer components for invalid tuning requests (negative
     storage budget, empty workload where one is required, ...)."""
+
+
+class WireFormatError(ReproError):
+    """Raised when a wire-format payload (serialized plan terms, tenant
+    snapshot, service state) has the wrong version or a malformed shape."""

@@ -123,3 +123,19 @@ class TestCommands:
         # One SDSS and one TPC-H tenant, plus both backplane lines.
         assert "sdss-0" in text and "tpch-1" in text
         assert "backplane sdss" in text and "backplane tpch" in text
+
+    def test_serve_state_dir_kill_restore_cycle(self, tmp_path):
+        """--state-dir + --max-events simulates a shutdown mid-stream;
+        the next invocation restores the tenant and finishes it."""
+        state = str(tmp_path / "state")
+        args = FAST + ["serve", "--tenants", "1", "--shards", "2",
+                       "--phase-length", "5", "--epoch", "5",
+                       "--refresh-every", "0", "--state-dir", state]
+        code, text = run_cli(args + ["--max-events", "8"])
+        assert code == 0
+        assert "state saved to" in text
+        assert "       8 " in text  # 8 of 15 events ingested
+        code, text = run_cli(args)
+        assert code == 0
+        assert "restored 1 tenant(s)" in text
+        assert "      15 " in text  # resumed to the end of the stream

@@ -105,3 +105,68 @@ class TestValidation:
         stats = restored.table("photoobj").stats("ra")
         assert stats.n_distinct > 1
         assert stats.histogram
+
+
+class TestStableIds:
+    """Indexes and fragments carry stable integer ids (canonical-order
+    positions), so wire-format references survive round-trips even when
+    index names collide across tables."""
+
+    def test_catalog_indexes_carry_unique_sequential_ids(self):
+        payload = catalog_to_dict(rich_catalog())
+        ids = [entry["id"] for entry in payload["indexes"]]
+        assert ids == list(range(len(ids)))
+
+    def test_fragments_carry_ids(self):
+        payload = catalog_to_dict(rich_catalog())
+        for layout in payload["vertical_layouts"]:
+            ids = [f["id"] for f in layout["fragments"]]
+            assert ids == list(range(len(ids)))
+
+    def test_dump_is_stable_across_round_trips(self):
+        """dump(load(dump(c))) == dump(c): ids and ordering are a
+        function of the content, not of insertion order."""
+        first = catalog_to_dict(rich_catalog())
+        second = catalog_to_dict(catalog_from_dict(first))
+        assert first == second
+
+    def test_dump_is_insertion_order_invariant(self):
+        from repro.workloads import sdss_catalog as make_sdss
+
+        a = make_sdss(scale=0.02)
+        b = make_sdss(scale=0.02)
+        a.add_index(Index("photoobj", ("ra",)))
+        a.add_index(Index("specobj", ("z",)))
+        b.add_index(Index("specobj", ("z",)))
+        b.add_index(Index("photoobj", ("ra",)))
+        assert catalog_to_dict(a) == catalog_to_dict(b)
+
+    def test_colliding_names_across_tables_round_trip(self):
+        """Regression: a configuration may hold same-named indexes on
+        different tables; the dump must keep both, deterministically."""
+        from repro.catalog.serialize import (
+            configuration_from_dict,
+            configuration_to_dict,
+        )
+        from repro.whatif import Configuration
+
+        collide_a = Index("photoobj", ("ra",), name="k")
+        collide_b = Index("specobj", ("z",), name="k")
+        config = Configuration.of(collide_a, collide_b)
+        payload = configuration_to_dict(config)
+        ids = [entry["id"] for entry in payload["indexes"]]
+        assert sorted(ids) == [0, 1]
+        restored = configuration_from_dict(payload)
+        assert restored.indexes == config.indexes
+        assert configuration_to_dict(restored) == payload
+
+    def test_stable_index_ids_iteration_order_invariant(self):
+        from repro.catalog.serialize import stable_index_ids
+
+        one = Index("photoobj", ("ra",), name="k")
+        two = Index("specobj", ("z",), name="k")
+        three = Index("photoobj", ("dec",))
+        forward = stable_index_ids([one, two, three])
+        backward = stable_index_ids([three, two, one])
+        assert forward == backward
+        assert sorted(forward.values()) == [0, 1, 2]

@@ -1,0 +1,393 @@
+"""Tests for the portable wire format and the process-pool backplane.
+
+The ISSUE-3 acceptance pins live here:
+
+* serialized cache entries reproduce ``slot_cost``/``cost``
+  **bit-identically** for every SDSS and TPC-H read template under
+  random configurations;
+* a killed :class:`TuningService` restored from a state dir emits the
+  same subsequent recommendations as an uninterrupted run;
+* process-pool ``warm_up`` results equal single-process results
+  entry for entry;
+* wire payloads with a foreign version are rejected, never guessed at.
+"""
+
+import itertools
+import json
+import random
+
+import pytest
+
+from repro.catalog import Index
+from repro.evaluation import (
+    ProcessPoolBackplane,
+    WorkloadEvaluator,
+    wire,
+)
+from repro.inum.cache import InumCostModel, _DesignView
+from repro.optimizer.writecost import locate_query
+from repro.service import TuningService
+from repro.sql.binder import BoundWrite
+from repro.util import WireFormatError
+from repro.whatif import Configuration
+from repro.workloads import sdss, tpch
+from repro.workloads import sdss_catalog as make_sdss
+from repro.workloads import tpch_catalog as make_tpch
+from repro.workloads.drift import default_phases, drifting_stream
+
+
+def random_configuration(catalog, rng, n_indexes=2):
+    """A random single/two-column index configuration over *catalog*."""
+    indexes = []
+    tables = catalog.tables
+    for __ in range(n_indexes):
+        table = rng.choice(tables)
+        width = rng.choice((1, 2))
+        columns = tuple(
+            rng.sample([c.name for c in table.columns], k=width)
+        )
+        indexes.append(Index(table.name, columns))
+    return Configuration(indexes=frozenset(indexes))
+
+
+def read_statements(catalog, registry, rng):
+    """One bound read statement per template (writes contribute their
+    locate query; pure inserts have no cached plans to serialize)."""
+    model = InumCostModel(catalog)
+    statements = []
+    for name in sorted(registry):
+        maker = registry[name]
+        bq = model.bound(maker(rng))
+        if isinstance(bq, BoundWrite):
+            if bq.kind not in ("update", "delete"):
+                continue
+            bq = model.bound(locate_query(bq))
+        statements.append((name, bq))
+    return statements
+
+
+class TestSignatureCodec:
+    def test_round_trip_through_json(self):
+        catalog = make_sdss(scale=0.01)
+        evaluator = WorkloadEvaluator(catalog)
+        rng = random.Random(3)
+        for name, bq in read_statements(catalog, sdss.TEMPLATE_REGISTRY, rng):
+            signature = evaluator.signature(bq)
+            encoded = json.loads(json.dumps(wire.signature_to_wire(signature)))
+            decoded = wire.signature_from_wire(encoded)
+            assert decoded == signature, name
+            assert hash(decoded) == hash(signature), name
+
+    def test_non_primitive_rejected(self):
+        with pytest.raises(WireFormatError):
+            wire.signature_to_wire((object(),))
+
+
+class TestEntryRoundTrip:
+    """``loads(dumps(entry))`` reproduces slot_cost/cost bit-identically
+    for every SDSS and TPC-H template under random configurations."""
+
+    @pytest.mark.parametrize(
+        "make_catalog,registry,seed",
+        [
+            (make_sdss, sdss.TEMPLATE_REGISTRY, 11),
+            (make_tpch, tpch.TEMPLATE_REGISTRY, 29),
+        ],
+        ids=["sdss", "tpch"],
+    )
+    def test_costs_bit_identical(self, make_catalog, registry, seed):
+        catalog = make_catalog(scale=0.01)
+        rng = random.Random(seed)
+        original = InumCostModel(catalog)
+        restored = InumCostModel(catalog)
+        evaluator = WorkloadEvaluator(catalog)
+        configurations = [Configuration.empty()] + [
+            random_configuration(catalog, rng) for __ in range(3)
+        ]
+        for name, bq in read_statements(catalog, registry, rng):
+            cache = original.cache_for(bq)
+            signature = evaluator.signature(bq)
+            text = wire.dumps(wire.entry_to_wire(signature, cache))
+            signature2, cache2 = wire.loads(text, catalog)
+            assert signature2 == signature, name
+            assert cache2.build_optimizer_calls == cache.build_optimizer_calls
+            assert cache2.plans == cache.plans, name
+            # Install the deserialized entry in a second model and pin
+            # per-slot and total costs exactly.
+            restored._caches[cache2.bound_query.sql] = cache2
+            for config in configurations:
+                view = _DesignView(catalog, config)
+                for (i1, s1), (i2, s2) in zip(
+                    cache.plan_terms(), cache2.plan_terms()
+                ):
+                    assert i1 == i2
+                    for slot1, slot2 in zip(s1, s2):
+                        assert original.slot_cost(
+                            cache.bound_query, slot1, view
+                        ) == restored.slot_cost(
+                            cache2.bound_query, slot2, view
+                        ), name
+                assert original.cost(cache.bound_query, config) == \
+                    restored.cost(cache2.bound_query, config), name
+
+    def test_dumps_is_deterministic_json(self):
+        catalog = make_sdss(scale=0.01)
+        model = InumCostModel(catalog)
+        evaluator = WorkloadEvaluator(catalog)
+        sql = sdss.template("cone_search")(random.Random(1))
+        cache = model.cache_for(sql)
+        signature = evaluator.signature(sql)
+        first = wire.dumps(wire.entry_to_wire(signature, cache))
+        second = wire.dumps(wire.entry_to_wire(signature, cache))
+        assert first == second
+        assert json.loads(first)["wire_version"] == wire.WIRE_VERSION
+
+
+class TestVersionRejection:
+    def _entry_text(self):
+        catalog = make_sdss(scale=0.01)
+        model = InumCostModel(catalog)
+        evaluator = WorkloadEvaluator(catalog)
+        sql = sdss.template("magnitude_cut")(random.Random(2))
+        return catalog, wire.dumps(
+            wire.entry_to_wire(evaluator.signature(sql), model.cache_for(sql))
+        )
+
+    def test_version_mismatch_rejected(self):
+        catalog, text = self._entry_text()
+        payload = json.loads(text)
+        payload["wire_version"] = wire.WIRE_VERSION + 1
+        with pytest.raises(WireFormatError, match="version"):
+            wire.loads(json.dumps(payload), catalog)
+
+    def test_missing_version_rejected(self):
+        catalog, text = self._entry_text()
+        payload = json.loads(text)
+        del payload["wire_version"]
+        with pytest.raises(WireFormatError, match="version"):
+            wire.loads(json.dumps(payload), catalog)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(WireFormatError, match="kind"):
+            wire.loads(
+                json.dumps({"wire_version": wire.WIRE_VERSION, "kind": "??"})
+            )
+
+    def test_entry_requires_catalog(self):
+        __, text = self._entry_text()
+        with pytest.raises(WireFormatError, match="catalog"):
+            wire.loads(text)
+
+
+class TestProcessPoolBackplane:
+    """Process-pool warm_up equals single-process, entry for entry."""
+
+    def test_warm_up_entries_identical(self):
+        catalog = make_sdss(scale=0.01)
+        # Every template, reads and writes alike: updates exercise the
+        # locate-query wire path (synthetic SQL shipped as the write).
+        workload = [
+            sdss.template(name)(random.Random(i))
+            for i, name in enumerate(sorted(sdss.TEMPLATE_REGISTRY))
+        ]
+        single = WorkloadEvaluator(catalog)
+        single_calls = single.warm_up(workload)
+        pooled = WorkloadEvaluator(catalog)
+        with ProcessPoolBackplane(pooled, processes=2) as backplane:
+            pooled_calls = backplane.warm_up(workload)
+        assert pooled_calls == single_calls
+        assert set(pooled.pool.signatures()) == set(single.pool.signatures())
+        for signature in single.pool.signatures():
+            a = pooled.pool.get(signature)
+            b = single.pool.get(signature)
+            assert a.plans == b.plans
+            assert a.build_optimizer_calls == b.build_optimizer_calls
+            assert a.bound_query.sql == b.bound_query.sql
+
+    def test_alias_renamed_duplicates_ship_one_task(self):
+        """Warm-target dedup is by canonical signature: alias-renamed
+        duplicates share one cache entry, so only one build is shipped
+        to the workers."""
+        catalog = make_sdss(scale=0.01)
+        workload = [
+            "SELECT p.objid FROM photoobj p WHERE p.rmag < 20",
+            "SELECT x.objid FROM photoobj x WHERE x.rmag < 20",
+        ]
+        evaluator = WorkloadEvaluator(catalog)
+        assert len(evaluator.warm_targets(workload)) == 1
+        with ProcessPoolBackplane(evaluator, processes=2) as backplane:
+            backplane.warm_up(workload)
+        assert len(evaluator.pool) == 1
+
+    def test_warm_up_skips_resident_entries(self):
+        catalog = make_sdss(scale=0.01)
+        workload = [sdss.template("cone_search")(random.Random(4))]
+        evaluator = WorkloadEvaluator(catalog)
+        evaluator.warm_up(workload)
+        with ProcessPoolBackplane(evaluator, processes=2) as backplane:
+            assert backplane.warm_up(workload) == 0
+
+    def test_evaluate_configurations_matrix_identical(self):
+        catalog = make_sdss(scale=0.01)
+        rng = random.Random(9)
+        workload = [
+            (sdss.template("cone_search")(rng), 2.0),
+            (sdss.template("magnitude_cut")(rng), 1.0),
+            (sdss.template("photo_spec_join")(rng), 0.5),
+        ]
+        configurations = [Configuration.empty()] + [
+            random_configuration(catalog, rng) for __ in range(2)
+        ]
+        reference = WorkloadEvaluator(catalog).evaluate_configurations(
+            workload, configurations
+        )
+        pooled = WorkloadEvaluator(catalog)
+        with ProcessPoolBackplane(pooled, processes=2) as backplane:
+            batch = backplane.evaluate_configurations(workload, configurations)
+        assert batch.matrix == reference.matrix
+        assert batch.weights == reference.weights
+        assert batch.totals == reference.totals
+        # The parent pool was warmed by the shipped entries.
+        assert len(pooled.pool) == 3
+
+    def test_bounded_parent_pool_bounds_workers_too(self):
+        """A capacity-capped host stays capped: the parent's pool bound
+        is mirrored into each worker evaluator, and warm-up still ships
+        every built entry (each task encodes its result before any
+        later eviction can drop it)."""
+        from repro.evaluation import InumCachePool
+
+        catalog = make_sdss(scale=0.01)
+        rng = random.Random(21)
+        workload = [sdss.template("cone_search")(rng) for __ in range(6)]
+        evaluator = WorkloadEvaluator(catalog, pool=InumCachePool(capacity=3))
+        with ProcessPoolBackplane(evaluator, processes=2) as backplane:
+            calls = backplane.warm_up(workload)
+        assert calls > 0
+        assert len(evaluator.pool) <= 3
+
+    def test_single_process_fallback(self):
+        catalog = make_sdss(scale=0.01)
+        workload = [sdss.template("cone_search")(random.Random(6))]
+        evaluator = WorkloadEvaluator(catalog)
+        with ProcessPoolBackplane(evaluator, processes=1) as backplane:
+            calls = backplane.warm_up(workload)
+        assert calls > 0 and len(evaluator.pool) == 1
+
+
+class TestServiceKillRestore:
+    """A killed TuningService restored from --state-dir emits the same
+    subsequent recommendations as an uninterrupted run."""
+
+    OPTIONS = dict(recommend_every=15, window=20)
+
+    @staticmethod
+    def make_service():
+        service = TuningService(shards=2)
+        service.add_backplane("sdss", make_sdss(scale=0.02))
+        return service
+
+    @staticmethod
+    def stream():
+        return drifting_stream(default_phases(12), seed=5)
+
+    @staticmethod
+    def fingerprint(session):
+        return (
+            [
+                (r.at_query, r.phase, r.trigger, r.indexes)
+                for r in session.recommendations
+            ],
+            session.status()["configuration"],
+            [
+                (e.at_query, e.from_phase, e.to_phase)
+                for e in session.drift_events
+            ],
+            [
+                (e.epoch, e.queries, e.observed_cost, e.configuration)
+                for e in session.report.epochs
+            ],
+        )
+
+    def test_restored_run_matches_uninterrupted(self, tmp_path):
+        uninterrupted = self.make_service()
+        uninterrupted.add_tenant("t0", "sdss", **self.OPTIONS)
+        uninterrupted.run_streams({"t0": self.stream()})
+
+        # Kill mid-stream (mid-epoch, mid-phase): 17 of 36 events.
+        killed = self.make_service()
+        killed.add_tenant("t0", "sdss", **self.OPTIONS)
+        killed.run_streams(
+            {"t0": itertools.islice(self.stream(), 17)}, finish=False
+        )
+        killed.save_state(tmp_path)
+
+        resumed = self.make_service()
+        restored = resumed.load_state(tmp_path)
+        assert set(restored) == {"t0"}
+        session = resumed.tenant("t0")
+        assert session.queries == 17
+        resumed.run_streams({"t0": itertools.islice(self.stream(), 17, None)})
+
+        assert self.fingerprint(session) == self.fingerprint(
+            uninterrupted.tenant("t0")
+        )
+
+    def test_cold_start_returns_empty(self, tmp_path):
+        assert self.make_service().load_state(tmp_path) == {}
+
+    def test_restore_missing_backplane_fails_clean_and_retries(self, tmp_path):
+        """Restore validates before registering: a snapshot referencing
+        an unregistered backplane fails without registering anything,
+        and succeeds once the operator adds the backplane."""
+        from repro.util import DesignError
+
+        service = self.make_service()
+        service.add_tenant("t0", "sdss", **self.OPTIONS)
+        service.save_state(tmp_path)
+
+        bare = TuningService(shards=2)  # no backplanes registered
+        with pytest.raises(DesignError, match="backplane"):
+            bare.load_state(tmp_path)
+        assert bare.tenants == []  # nothing half-restored
+        bare.add_backplane("sdss", make_sdss(scale=0.02))
+        assert set(bare.load_state(tmp_path)) == {"t0"}
+
+    def test_restore_is_all_or_nothing_on_malformed_session(self, tmp_path):
+        """A malformed session payload mid-list registers nothing: every
+        session materializes before any is registered, so the retry with
+        a fixed file starts clean."""
+        service = self.make_service()
+        service.add_tenant("t0", "sdss", **self.OPTIONS)
+        service.add_tenant("t1", "sdss", **self.OPTIONS)
+        path = service.save_state(tmp_path)
+        payload = json.loads(open(path).read())
+        del payload["tenants"][1]["session"]["tuner"]["epoch_probes"]
+        with open(path, "w") as f:
+            json.dump(payload, f)
+        fresh = self.make_service()
+        with pytest.raises(KeyError):
+            fresh.load_state(tmp_path)
+        assert fresh.tenants == []  # t0 was not half-registered
+
+    def test_state_file_version_checked(self, tmp_path):
+        service = self.make_service()
+        service.add_tenant("t0", "sdss", **self.OPTIONS)
+        path = service.save_state(tmp_path)
+        payload = json.loads(open(path).read())
+        payload["wire_version"] = 99
+        with open(path, "w") as f:
+            json.dump(payload, f)
+        with pytest.raises(WireFormatError, match="version"):
+            self.make_service().load_state(tmp_path)
+
+    def test_snapshot_is_json_and_versioned(self, tmp_path):
+        service = self.make_service()
+        service.add_tenant("t0", "sdss", **self.OPTIONS)
+        service.run_streams(
+            {"t0": itertools.islice(self.stream(), 5)}, finish=False
+        )
+        text = wire.dumps(service.snapshot())
+        payload = wire.loads(text)
+        assert payload["kind"] == wire.KIND_SERVICE
+        assert payload["tenants"][0]["session"]["queries"] == 5
