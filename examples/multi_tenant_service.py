@@ -43,13 +43,16 @@ def main():
         )
         print("warmed %s backplane: %d optimizer calls" % (key, calls))
 
-    # Concurrent ingest: one worker per tenant, tenants sharing a
-    # backplane advance on their own epochs against the shared caches.
+    # Scheduled ingest: every tenant advances as resumable steps on the
+    # cooperative scheduler — fair and priority-aware (astro-1 is the
+    # premium tenant here, so it gets twice the dispatch weight while
+    # the others stay starvation-free).  Priorities reorder work in
+    # time; per-tenant results are identical under any schedule.
     streams = {
         name: drifting_stream(phases_fn(PHASE_LENGTH), seed=seed)
         for name, (key, phases_fn, seed) in tenants.items()
     }
-    service.run_streams(streams)
+    service.run_scheduled(streams, priorities={"astro-1": 2.0})
 
     print()
     print(service.status_text())

@@ -39,6 +39,7 @@ from repro.autopart import AutoPartAdvisor
 from repro.colt import ColtSettings, ColtTuner
 from repro.interaction import InteractionAnalyzer
 from repro.designer import Designer
+from repro.runtime import ProcessStepExecutor, Scheduler, StepExecutor
 from repro.service import TenantSession, TuningService
 from repro.workloads import (
     Workload,
@@ -76,6 +77,9 @@ __all__ = [
     "ColtTuner",
     "InteractionAnalyzer",
     "Designer",
+    "ProcessStepExecutor",
+    "Scheduler",
+    "StepExecutor",
     "TenantSession",
     "TuningService",
     "Workload",

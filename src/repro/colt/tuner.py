@@ -187,6 +187,24 @@ class ColtTuner:
         """The configuration last proposed but not (yet) adopted."""
         return self._pending_alert
 
+    # ------------------------------------------------------------------
+    # Step hooks (the scheduler's view of the epoch loop).
+    # ------------------------------------------------------------------
+
+    @property
+    def pending_queries(self):
+        """The open epoch's observed queries.  The scheduler's flush
+        step prewarms these: closing an epoch re-prices every one of
+        them, so their INUM caches should be resident first."""
+        return tuple(self._epoch_queries)
+
+    @property
+    def will_end_epoch(self):
+        """True when observing one more query closes the current epoch —
+        the scheduler classifies that observe as a heavy step (epoch end
+        prices the whole epoch and solves the knapsack)."""
+        return len(self._epoch_queries) + 1 >= self.settings.epoch_length
+
     def notify_workload_shift(self):
         """External drift signal (e.g. a tuning-service phase boundary):
         restore the full what-if probing budget, exactly as the internal

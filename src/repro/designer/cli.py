@@ -6,13 +6,17 @@
     python -m repro online     [--phase-length N] [--epoch N]
     python -m repro stream     [--phase-length N] [--refresh-every N]
     python -m repro serve      [--tenants N] [--shards N] [--state-dir DIR]
+                               [--snapshot-interval N] [--offload N]
     python -m repro explain    --sql "SELECT ..."
 
 Each subcommand prints the same panels the demo UI shows (benefit tables,
 interaction graphs, schedules, per-epoch traces).  ``stream`` runs one
 tenant's streaming session (ingest + drift detection + periodic design
 refreshes); ``serve`` simulates the multi-tenant service: a mixed
-SDSS/TPC-H tenant fleet over sharded, shared cache pools.
+SDSS/TPC-H tenant fleet advancing as resumable steps on the cooperative
+scheduler over sharded, shared cache pools — with periodic pause-point
+snapshots (``--snapshot-interval``) and optional process offload of
+INUM cache builds (``--offload``).
 """
 
 import argparse
@@ -133,6 +137,18 @@ def build_parser():
         help="stop each tenant after N events this run (0 = run to the "
         "end of the stream); with --state-dir this simulates a service "
         "shutdown mid-stream that the next invocation resumes",
+    )
+    serve.add_argument(
+        "--snapshot-interval", type=int, default=0,
+        help="take a consistent service snapshot every N ingested events "
+        "at a scheduler pause point, without stopping ingest (requires "
+        "--state-dir; 0 disables periodic snapshots)",
+    )
+    serve.add_argument(
+        "--offload", type=int, default=0,
+        help="offload INUM cache builds to N worker processes during "
+        "scheduled ingest (0/1 = build inline; results are identical "
+        "either way)",
     )
 
     explain = sub.add_parser("explain", help="EXPLAIN one SQL statement")
@@ -264,6 +280,8 @@ def _dispatch(args, out):
         return 0
 
     if args.command == "serve":
+        if args.snapshot_interval and not args.state_dir:
+            raise ReproError("--snapshot-interval requires --state-dir")
         service = TuningService(
             shards=args.shards,
             pool_capacity=args.pool_capacity,
@@ -301,14 +319,15 @@ def _dispatch(args, out):
                     ),
                     recommend_every=args.refresh_every,
                 )
-            session = service.tenant(name)
             phases_fn, seed = mixes[key]
             # The stream is a deterministic function of its seed, so a
             # restored tenant resumes mid-stream by skipping the events
-            # it already ingested before the snapshot.
+            # already accounted for before the snapshot (ingested plus
+            # restored-but-pending scheduler buffers, which run_scheduled
+            # re-queues ahead of this stream).
             stream = itertools.islice(
                 drifting_stream(phases_fn(args.phase_length), seed=seed),
-                session.queries,
+                service.stream_offset(name),
                 None,
             )
             if args.max_events:
@@ -327,7 +346,22 @@ def _dispatch(args, out):
             )
         # A --max-events run is a simulated shutdown: leave epochs open
         # (no final refresh) so the next invocation resumes seamlessly.
-        service.run_streams(streams, finish=not args.max_events)
+        executor = None
+        if args.offload and args.offload > 1:
+            from repro.runtime import ProcessStepExecutor
+
+            executor = ProcessStepExecutor(processes=args.offload)
+        try:
+            service.run_scheduled(
+                streams,
+                executor=executor,
+                finish=not args.max_events,
+                snapshot_interval=args.snapshot_interval,
+                state_dir=args.state_dir if args.snapshot_interval else None,
+            )
+        finally:
+            if executor is not None:
+                executor.close()
         if args.state_dir:
             path = service.save_state(args.state_dir)
             print("state saved to %s" % path, file=out)

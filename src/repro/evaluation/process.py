@@ -41,7 +41,7 @@ from repro.catalog.serialize import (
     configuration_to_dict,
 )
 from repro.evaluation import wire
-from repro.util import workload_pairs
+from repro.util import DesignError, workload_pairs
 
 __all__ = ["ProcessPoolBackplane"]
 
@@ -139,6 +139,7 @@ class ProcessPoolBackplane:
         self.processes = processes
         self.start_method = start_method
         self._pool = None
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Pool lifecycle.
@@ -153,6 +154,7 @@ class ProcessPoolBackplane:
             return multiprocessing.get_context()
 
     def _worker_pool(self):
+        self._check_open()
         if self._pool is None:
             payload = catalog_to_dict(self.evaluator.catalog)
             capacity = getattr(self.evaluator.pool, "capacity", None)
@@ -163,9 +165,30 @@ class ProcessPoolBackplane:
             )
         return self._pool
 
+    def _check_open(self):
+        if self._closed:
+            raise DesignError(
+                "ProcessPoolBackplane is closed (its workers have been "
+                "joined); create a new backplane to fan out more work"
+            )
+
+    @property
+    def closed(self):
+        return self._closed
+
     def close(self):
+        """Join the workers gracefully and retire the backplane.
+
+        Every dispatched task has completed by the time a public method
+        returns (results are consumed synchronously), so a graceful
+        ``close`` + ``join`` — rather than ``terminate`` — lets workers
+        exit cleanly without risking corruption of in-flight state.
+        Idempotent; any later use raises a clear :class:`DesignError`
+        instead of failing opaquely inside :mod:`multiprocessing`.
+        """
+        self._closed = True
         if self._pool is not None:
-            self._pool.terminate()
+            self._pool.close()
             self._pool.join()
             self._pool = None
 
@@ -201,6 +224,7 @@ class ProcessPoolBackplane:
         :meth:`WorkloadEvaluator.warm_up`; the installed entries are
         bit-identical to a single-process warm-up (pinned in the claim
         benchmark and the wire test suite)."""
+        self._check_open()
         evaluator = self.evaluator
         before = evaluator.precompute_calls
         targets = self._warm_targets(workload)
@@ -233,6 +257,7 @@ class ProcessPoolBackplane:
         from repro.evaluation.evaluator import BatchEvaluation
         from repro.whatif import Configuration
 
+        self._check_open()
         evaluator = self.evaluator
         pairs = [
             (evaluator.bound(q).sql, w) for q, w in workload_pairs(workload)

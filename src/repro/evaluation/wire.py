@@ -21,13 +21,20 @@ state a canonical, versioned, JSON-compatible form:
 * **tuner / tenant-session state** (epoch counters, COLT candidate
   EWMAs, the sliding window, the drift phase) — the payloads behind
   :meth:`TenantSession.snapshot` and :meth:`TuningService.snapshot`,
-  so a service restart resumes tenants mid-stream.
+  so a service restart resumes tenants mid-stream;
+
+* **scheduler state** (wire version 2): the cooperative scheduler's
+  per-tenant buffers of pulled-but-not-ingested stream events, encoded
+  by :func:`event_to_wire` inside the service snapshot — what makes a
+  pause-point snapshot complete even for push-mode events no replay can
+  re-derive.
 
 Every payload is stamped with :data:`WIRE_VERSION`; :func:`loads`
 rejects a mismatch with :class:`~repro.util.WireFormatError` instead of
 guessing.  Consumers: the :class:`~repro.evaluation.process.ProcessPoolBackplane`
 ships entries from worker processes to the parent pool, and
-``python -m repro serve --state-dir`` persists whole-service snapshots.
+``python -m repro serve --state-dir`` persists whole-service snapshots
+(periodically, with ``--snapshot-interval``, at scheduler pause points).
 """
 
 import json
@@ -49,12 +56,16 @@ __all__ = [
     "plan_from_wire",
     "entry_to_wire",
     "entry_from_wire",
+    "event_to_wire",
+    "event_from_wire",
     "dumps",
     "loads",
     "check_version",
 ]
 
-WIRE_VERSION = 1
+# Version 2: service snapshots carry scheduler state (per-tenant pending
+# event buffers); version-1 payloads predate the cooperative runtime.
+WIRE_VERSION = 2
 
 KIND_ENTRY = "inum-cache-entry"
 KIND_TENANT = "tenant-session"
@@ -182,6 +193,29 @@ def entry_from_wire(payload, catalog):
         build_optimizer_calls=payload.get("build_optimizer_calls", 0),
     )
     return signature_from_wire(payload["signature"]), cache
+
+
+# ----------------------------------------------------------------------
+# Stream events (scheduler pending buffers).
+# ----------------------------------------------------------------------
+
+
+def event_to_wire(event):
+    """One tenant stream event — ``(phase, sql)`` or plain SQL — as a
+    two-element array.  Plain SQL becomes a null phase, which ingests
+    identically (a ``None`` phase never triggers drift handling)."""
+    if isinstance(event, tuple):
+        phase, sql = event
+    else:
+        phase, sql = None, event
+    return [phase, sql]
+
+
+def event_from_wire(payload):
+    """Rebuild a stream event from its wire form (always the tuple
+    shape; ``(None, sql)`` is ingest-equivalent to bare SQL)."""
+    phase, sql = payload
+    return (phase, sql)
 
 
 # ----------------------------------------------------------------------

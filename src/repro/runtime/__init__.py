@@ -1,0 +1,35 @@
+"""The cooperative tenant-scheduler runtime.
+
+Replaces the service's thread-per-tenant ``drain()`` loops with an
+explicit, pausable run-queue:
+
+* :mod:`repro.runtime.steps` — :class:`Step` (one resumable unit of
+  session work, with prewarm metadata) and :class:`TenantTask` (one
+  session as a pull- or push-fed state machine with event-boundary
+  pause points);
+* :mod:`repro.runtime.scheduler` — :class:`Scheduler`: stride-fair,
+  priority-aware dispatch, per-tenant backpressure, pause-point
+  snapshots;
+* :mod:`repro.runtime.executor` — the executor seam:
+  :class:`StepExecutor` (inline) and :class:`ProcessStepExecutor`
+  (cache builds offloaded to a reusable
+  :class:`~repro.evaluation.ProcessPoolBackplane` per backplane).
+
+Every step runs inline, so scheduler-driven ingest is bit-identical to
+the thread-loop path; executors only move *cache builds* in time and
+across processes, which is results-neutral by construction (and pinned
+in the test suite).
+"""
+
+from repro.runtime.executor import ProcessStepExecutor, StepExecutor
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.steps import Step, TenantTask, event_sql
+
+__all__ = [
+    "ProcessStepExecutor",
+    "Scheduler",
+    "Step",
+    "StepExecutor",
+    "TenantTask",
+    "event_sql",
+]

@@ -1,0 +1,94 @@
+"""The scheduler's executor seam: where heavy costing work happens.
+
+Every step ultimately *runs* inline on the scheduler thread — sessions
+are not reentrant, and inline execution is what keeps the scheduler
+path bit-identical to the thread-loop path.  What an executor controls
+is the *preparation* of a step's optimizer-heavy inputs: INUM cache
+builds for the statements a step will price.  Cache builds are pure
+functions of (bound query, catalog, settings), so building them early,
+elsewhere, or not at all never changes a result — only wall-clock time.
+
+* :class:`StepExecutor` — the inline default: no preparation; steps
+  build caches on demand exactly like a ``drain()`` loop would.
+* :class:`ProcessStepExecutor` — fans cache builds for refill batches
+  and heavy steps across a per-evaluator
+  :class:`~repro.evaluation.ProcessPoolBackplane`, so the pure-Python
+  optimizer planning that dominates ingest leaves the scheduler thread
+  (and the GIL) entirely; wire-format entries come back and land in the
+  shared pool before the step prices them inline.
+"""
+
+from repro.evaluation.process import ProcessPoolBackplane
+
+__all__ = ["StepExecutor", "ProcessStepExecutor"]
+
+
+class StepExecutor:
+    """Inline execution: every cache build happens on demand, in the
+    scheduler thread, exactly as in the thread-per-tenant loop."""
+
+    def refill(self, evaluator, statements):
+        """Hook called with each newly buffered batch of statements for
+        *evaluator*'s backplane.  Inline: nothing to do."""
+
+    def prepare(self, session, step):
+        """Hook called immediately before a step runs.  Inline: nothing
+        to do — the step builds what it needs."""
+
+    def close(self):
+        """Release executor resources (worker pools); idempotent."""
+
+
+class ProcessStepExecutor(StepExecutor):
+    """Offload INUM cache builds to ``multiprocessing`` workers.
+
+    One :class:`ProcessPoolBackplane` is kept per distinct evaluator
+    (i.e. per service backplane) and reused across every refill and
+    heavy step of the run — the reusable-pool seam.  ``processes`` and
+    ``start_method`` are passed through.  Close the executor (or let
+    :meth:`TuningService.run_scheduled` close an executor it created)
+    to join the workers gracefully.
+    """
+
+    def __init__(self, processes=None, start_method=None):
+        self.processes = processes
+        self.start_method = start_method
+        self._backplanes = {}  # id(evaluator) -> ProcessPoolBackplane
+
+    def _backplane(self, evaluator):
+        backplane = self._backplanes.get(id(evaluator))
+        if backplane is None:
+            backplane = ProcessPoolBackplane(
+                evaluator,
+                processes=self.processes,
+                start_method=self.start_method,
+            )
+            self._backplanes[id(evaluator)] = backplane
+        return backplane
+
+    def refill(self, evaluator, statements):
+        """Warm the caches for a freshly buffered batch of upcoming
+        statements across the worker processes.  Statements already
+        resident in the shared pool are filtered out before any task is
+        shipped, so a warm pool makes this a near no-op."""
+        if statements:
+            self._backplane(evaluator).warm_up(statements)
+
+    def prepare(self, session, step):
+        """Heavy steps (drift/interval/final refreshes, epoch-closing
+        observes) prewarm the statements they will price — typically the
+        session's sliding window, making this a residency check except
+        after pool evictions."""
+        if step.heavy and step.prewarm:
+            self._backplane(session.evaluator).warm_up(list(step.prewarm))
+
+    def close(self):
+        for backplane in self._backplanes.values():
+            backplane.close()
+        self._backplanes.clear()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()

@@ -1,0 +1,213 @@
+"""The cooperative tenant scheduler: a fair, priority-aware run-queue.
+
+The service's PR-2 ingest model was one blocking ``drain()`` thread per
+tenant: opaque loops the host could neither pace, nor snapshot
+mid-stream, nor offload.  The scheduler replaces those loops with an
+explicit run-queue of :class:`~repro.runtime.steps.TenantTask` state
+machines, advanced one :class:`~repro.runtime.steps.Step` at a time
+from a single thread — the stale-synchronous shape: every worker-heavy
+effect (cache builds) flows through the shared backplane as portable
+derived state, while the scheduler keeps the per-tenant control state
+small, explicit, and pausable.
+
+* **Fairness** — stride scheduling: each dispatched step advances the
+  task's pass value by ``1/priority``; the runnable task with the
+  lowest pass runs next (registration order breaks ties).  A tenant
+  with a 10x longer stream cannot starve its neighbors, and a
+  priority-2.0 tenant gets twice the steps of a priority-1.0 one.
+* **Backpressure / admission control** — per-task ``max_pending``
+  bounds the event buffer; push-mode :meth:`submit` refuses events
+  beyond it, and pull-mode refills never read ahead of it.
+* **Executor seam** — refill batches and heavy steps are announced to
+  the executor (see :mod:`repro.runtime.executor`) before running, so
+  optimizer-heavy cache builds can move to worker processes while every
+  step still runs inline, bit-identical to the thread-loop path.
+* **Pause-point snapshots** — every ``snapshot_interval`` ingested
+  events the scheduler drains in-flight events to their boundaries
+  (buffered events untouched) and invokes ``on_snapshot``; the service
+  wires this to :meth:`TuningService.snapshot`, which is what lets
+  ``serve --snapshot-interval`` persist consistent state without
+  stopping ingest.
+"""
+
+import time
+from collections import OrderedDict
+
+from repro.runtime.executor import StepExecutor
+from repro.runtime.steps import TenantTask, event_sql
+from repro.util import DesignError
+
+__all__ = ["Scheduler"]
+
+DEFAULT_LOOKAHEAD = 4
+
+
+class Scheduler:
+    """Drive many tenant tasks to completion, one step at a time.
+
+    ``lookahead`` is how many events per tenant the refill phase
+    buffers ahead of ingest — the batch the executor may prewarm
+    across worker processes.  ``trace=True`` records every dispatch in
+    ``dispatch_log`` as ``(tenant, step kind)`` pairs (the fairness
+    tests read it; off by default to keep long runs allocation-free).
+    """
+
+    def __init__(self, executor=None, lookahead=None, snapshot_interval=0,
+                 on_snapshot=None, trace=False):
+        if snapshot_interval < 0:
+            raise DesignError(
+                "snapshot_interval must be >= 0, got %r"
+                % (snapshot_interval,)
+            )
+        self.executor = executor if executor is not None else StepExecutor()
+        self.lookahead = (
+            lookahead if lookahead is not None else DEFAULT_LOOKAHEAD
+        )
+        self.snapshot_interval = snapshot_interval
+        self.on_snapshot = on_snapshot
+        self.steps = 0
+        self.snapshots = 0
+        self.last_snapshot_time = None
+        self.dispatch_log = [] if trace else None
+        self._tasks = OrderedDict()
+        self._snapshot_mark = 0
+
+    # ------------------------------------------------------------------
+    # Registration and intake.
+    # ------------------------------------------------------------------
+
+    def add(self, name, session, stream=None, finish=True, priority=1.0,
+            max_pending=None):
+        """Register *session* under *name*.  ``stream`` is the pull-mode
+        event source; omit it for push-mode intake via :meth:`submit` +
+        :meth:`close_intake`."""
+        if name in self._tasks:
+            raise DesignError("task %r already scheduled" % (name,))
+        task = TenantTask(
+            name, session, stream=stream, finish=finish, priority=priority,
+            max_pending=max_pending, order=len(self._tasks),
+        )
+        self._tasks[name] = task
+        return task
+
+    def task(self, name):
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise DesignError(
+                "unknown task %r (scheduled: %s)"
+                % (name, ", ".join(self._tasks) or "none")
+            ) from None
+
+    def submit(self, name, event):
+        """Push one event to *name*; ``False`` means the tenant's buffer
+        is full (admission refused — retry after :meth:`run`)."""
+        return self.task(name).submit(event)
+
+    def close_intake(self, name):
+        self.task(name).close_intake()
+
+    @property
+    def tasks(self):
+        return list(self._tasks.values())
+
+    def queue_depths(self):
+        """Buffered-but-not-ingested event count per tenant."""
+        return {name: task.queue_depth for name, task in self._tasks.items()}
+
+    def pending_events(self):
+        """The buffered events themselves, per tenant — what a snapshot
+        must carry so push-mode (non-replayable) events survive."""
+        return {
+            name: list(task.pending) for name, task in self._tasks.items()
+        }
+
+    @property
+    def events_started(self):
+        return sum(task.events_started for task in self._tasks.values())
+
+    # ------------------------------------------------------------------
+    # The run loop.
+    # ------------------------------------------------------------------
+
+    def _refill(self):
+        """Pull each task's buffer up to ``lookahead`` and hand every
+        newly buffered batch to the executor, grouped by evaluator, so
+        one prewarm call covers all tenants sharing a backplane."""
+        batches = OrderedDict()  # id(evaluator) -> (evaluator, [sql])
+        for task in self._tasks.values():
+            if task.done:
+                continue
+            pulled = task.refill(self.lookahead)
+            if not pulled:
+                continue
+            evaluator = task.session.evaluator
+            entry = batches.get(id(evaluator))
+            if entry is None:
+                entry = (evaluator, [])
+                batches[id(evaluator)] = entry
+            entry[1].extend(event_sql(event) for event in pulled)
+        for evaluator, statements in batches.values():
+            self.executor.refill(evaluator, statements)
+
+    def _dispatch(self, task):
+        step = task.run_step(self.executor)
+        self.steps += 1
+        if self.dispatch_log is not None:
+            self.dispatch_log.append((task.name, step.kind))
+        return step
+
+    def drain_to_boundaries(self):
+        """Finish every in-flight event (without starting new ones) so
+        all tasks sit at an event boundary — the consistent pause
+        point.  Buffered events stay buffered."""
+        for task in self._tasks.values():
+            while not task.done and not task.at_event_boundary:
+                if task.next_step(start_new=False) is None:
+                    break
+                self._dispatch(task)
+
+    def snapshot_now(self):
+        """Drain to boundaries and invoke the snapshot callback."""
+        self.drain_to_boundaries()
+        self.snapshots += 1
+        self.last_snapshot_time = time.time()
+        self._snapshot_mark = self.events_started
+        if self.on_snapshot is not None:
+            self.on_snapshot(self)
+
+    def run(self):
+        """Dispatch until every task is done (or all remaining tasks are
+        idle push-mode intakes awaiting events).  Returns run stats."""
+        while True:
+            self._refill()
+            runnable = [t for t in self._tasks.values() if t.ready()]
+            if not runnable:
+                break
+            task = min(runnable, key=lambda t: (t.pass_value, t.order))
+            if task.next_step() is None:
+                continue  # retired (done) or went idle; re-plan
+            self._dispatch(task)
+            if (
+                self.snapshot_interval
+                and self.events_started - self._snapshot_mark
+                >= self.snapshot_interval
+            ):
+                self.snapshot_now()
+        return self.stats()
+
+    def stats(self):
+        return {
+            "steps": self.steps,
+            "events": self.events_started,
+            "snapshots": self.snapshots,
+            "tenants": {
+                name: {
+                    "steps": task.steps_run,
+                    "events": task.events_started,
+                    "queue_depth": task.queue_depth,
+                    "done": task.done,
+                }
+                for name, task in self._tasks.items()
+            },
+        }

@@ -5,11 +5,15 @@ costing backplanes:
 
 * :mod:`repro.service.service` — :class:`TuningService`: backplane
   registry (one sharded INUM cache pool + shared evaluator per
-  catalog), concurrent warm-up, concurrent per-tenant ingest, merged
-  status snapshots;
+  catalog), concurrent warm-up, scheduler-driven per-tenant ingest
+  (see :mod:`repro.runtime`; the legacy thread loop survives as
+  :meth:`TuningService.run_streams_threaded`), pause-point snapshots,
+  merged status snapshots;
 * :mod:`repro.service.tenant` — :class:`TenantSession`: streaming
-  ingest, the COLT epoch loop, drift detection at phase boundaries,
-  periodic full-advisor recommendation refreshes.
+  ingest decomposed into resumable steps
+  (:meth:`~TenantSession.ingest_steps`), the COLT epoch loop, drift
+  detection at phase boundaries, periodic full-advisor recommendation
+  refreshes.
 """
 
 from repro.service.service import Backplane, TuningService

@@ -15,20 +15,31 @@ This module is the long-lived service layer over the same components:
   a global barrier, they just read whatever derived state is current);
 * **concurrent warm-up** (:meth:`warm_up`) pre-building per-query
   caches in a thread pool, bit-identical to sequential warm-up;
-* **concurrent ingest** (:meth:`run_streams`): one worker per tenant,
-  shards keeping pool probes from contending on a single lock;
+* **scheduled ingest** (:meth:`run_scheduled`): every tenant advances
+  as resumable steps on the cooperative
+  :class:`~repro.runtime.Scheduler` — fair, priority-aware, with
+  per-tenant backpressure, pause-point snapshots (``--snapshot-interval``
+  in the CLI), and an executor seam that can offload INUM cache builds
+  to a :class:`~repro.evaluation.ProcessPoolBackplane`;
+  :meth:`run_streams` is the thin compatibility shim over it, with
+  results pinned bit-identical to the legacy thread-per-tenant loop
+  (:meth:`run_streams_threaded`);
 * a mergeable **status surface** (:meth:`status` /
-  :meth:`status_text`): per-tenant session snapshots plus per-backplane
-  pool statistics, cheap enough to poll.
+  :meth:`status_text`): per-tenant session snapshots, per-backplane
+  pool statistics, and runtime state (queue depths, snapshot age),
+  cheap enough to poll.
 """
 
+import itertools
 import os
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.evaluation import ShardedInumCachePool, WorkloadEvaluator, wire
+from repro.runtime import Scheduler, StepExecutor
 from repro.service.tenant import TenantSession
 from repro.util import DesignError, WireFormatError
 
@@ -88,6 +99,11 @@ class TuningService:
         self._backplanes = OrderedDict()
         self._tenants = OrderedDict()
         self._lock = threading.RLock()  # guards the two registries
+        self._runtime = None  # the active Scheduler during run_scheduled
+        self._pause_point = False  # inside the scheduler's snapshot hook
+        self._pending = {}  # tenant -> restored not-yet-ingested events
+        self._snapshots = 0
+        self._last_snapshot_time = None
 
     # ------------------------------------------------------------------
     # Registration.
@@ -167,6 +183,21 @@ class TuningService:
         """Drive many tenant streams to completion and return the final
         status snapshot.
 
+        A thin compatibility shim over :meth:`run_scheduled`: tenants
+        advance on the cooperative scheduler as resumable steps instead
+        of one blocking thread each, with per-tenant results pinned
+        bit-identical to the legacy loop (``concurrency`` is accepted
+        for API compatibility; the scheduler interleaves steps from one
+        thread, so it no longer changes anything — use
+        :meth:`run_streams_threaded` for the historical behavior).
+        """
+        return self.run_scheduled(streams, finish=finish)
+
+    def run_streams_threaded(self, streams, concurrency=None, finish=True):
+        """The PR-2 thread-per-tenant ingest loop, kept as the reference
+        implementation the scheduler path is pinned against (and the
+        baseline the scheduler benchmark measures).
+
         ``streams`` maps tenant name -> iterable of query events.  Each
         tenant is drained by exactly one worker (sessions are not
         reentrant), up to ``concurrency`` tenants in flight at once
@@ -188,6 +219,99 @@ class TuningService:
                     future.result()
         return self.status()
 
+    def run_scheduled(self, streams, executor=None, finish=True,
+                      lookahead=None, priorities=None, max_pending=None,
+                      snapshot_interval=0, state_dir=None, on_snapshot=None,
+                      trace=False):
+        """Drive tenant streams on the cooperative scheduler.
+
+        ``executor`` is the heavy-step seam — ``None`` means inline
+        (bit-identical to the thread loop in work *and* placement); a
+        :class:`~repro.runtime.ProcessStepExecutor` offloads INUM cache
+        builds to worker processes (bit-identical in results, faster on
+        spare cores).  An executor created here is closed here; a
+        caller-provided one is left open for reuse.
+
+        ``priorities`` maps tenant name -> stride weight (default 1.0);
+        ``max_pending`` bounds each tenant's event buffer (backpressure);
+        ``lookahead`` is the per-tenant prewarm read-ahead.  Every
+        ``snapshot_interval`` ingested events the scheduler pauses at a
+        consistent event boundary and takes :meth:`snapshot` — written
+        to ``state_dir`` when given, and passed to ``on_snapshot`` when
+        given.  Events restored with a snapshot's scheduler state are
+        re-queued ahead of each tenant's stream automatically.
+
+        If the run raises, events still buffered are re-captured into
+        the service's pending state so a later :meth:`snapshot` keeps
+        them; this is best-effort — an event whose steps were mid-flight
+        when the error hit cannot be recovered, so hosts wanting crash
+        consistency should restart from the last ``snapshot_interval``
+        write rather than the post-error in-memory state.
+
+        Returns the final status snapshot, like :meth:`run_streams`.
+        """
+        owned = executor is None
+        executor = executor if executor is not None else StepExecutor()
+        hook = None
+        if snapshot_interval:
+            hook = self._snapshot_hook(state_dir, on_snapshot)
+        scheduler = Scheduler(
+            executor=executor,
+            lookahead=lookahead,
+            snapshot_interval=snapshot_interval,
+            on_snapshot=hook,
+            trace=trace,
+        )
+        priorities = priorities or {}
+        for name, stream in streams.items():
+            session = self.tenant(name)
+            restored = self._pending.pop(name, None)
+            if restored:
+                stream = itertools.chain(restored, stream)
+            scheduler.add(
+                name, session, stream,
+                finish=finish,
+                priority=priorities.get(name, 1.0),
+                max_pending=max_pending,
+            )
+        self._runtime = scheduler
+        try:
+            scheduler.run()
+        finally:
+            # Re-capture any events still buffered (a run that raised
+            # mid-stream leaves them behind): restored push-mode events
+            # are not replayable, so losing them here would make a
+            # later save_state() silently incomplete.
+            for name, events in scheduler.pending_events().items():
+                if events:
+                    self._pending[name] = list(events)
+            self._runtime = None
+            if owned:
+                executor.close()
+        return self.status()
+
+    def _snapshot_hook(self, state_dir, on_snapshot):
+        def hook(scheduler):
+            self._pause_point = True
+            try:
+                payload = self.snapshot()
+            finally:
+                self._pause_point = False
+            if state_dir is not None:
+                self._write_state(state_dir, payload)
+            self._snapshots += 1
+            self._last_snapshot_time = time.time()
+            if on_snapshot is not None:
+                on_snapshot(payload)
+        return hook
+
+    def stream_offset(self, name):
+        """How many events of *name*'s original stream are accounted for
+        — ingested by the session plus restored-but-pending in the
+        scheduler state.  A host replaying a deterministic stream after
+        :meth:`restore` resumes it from this offset."""
+        return self.tenant(name).queries + len(self._pending.get(name, ()))
+
     # ------------------------------------------------------------------
     # Snapshot / restore (wire format).
     # ------------------------------------------------------------------
@@ -199,13 +323,39 @@ class TuningService:
         host on restart (they carry the heavyweight live objects), and
         each tenant's snapshot records which backplane key it belongs
         to.  Pool contents are rebuilt on demand — they are a cache,
-        not state."""
+        not state.
+
+        When a scheduler run is active the snapshot also carries the
+        scheduler's per-tenant pending buffers (events pulled from the
+        stream or pushed by a producer but not yet ingested) — taken at
+        a pause point, this makes a mid-ingest snapshot complete:
+        sessions reflect exactly the ingested prefix, and the buffered
+        events ride along so nothing is lost even when the stream
+        cannot be replayed.
+
+        During an active run, only the scheduler itself may snapshot
+        (via ``run_scheduled(snapshot_interval=…)``), because it first
+        drains in-flight events to their boundaries; a direct call from
+        another thread would capture sessions mid-event and race the
+        live buffers, so it is refused loudly."""
+        if self._runtime is not None and not self._pause_point:
+            raise DesignError(
+                "snapshot() during an active scheduler run is only "
+                "consistent at a pause point; use "
+                "run_scheduled(snapshot_interval=..., state_dir=...) "
+                "for periodic mid-ingest snapshots"
+            )
         with self._lock:
             tenant_keys = {
                 name: key
                 for key, plane in self._backplanes.items()
                 for name in plane.tenants
             }
+            pending = dict(self._pending)
+            if self._runtime is not None:
+                for name, events in self._runtime.pending_events().items():
+                    if events:
+                        pending[name] = events
             return {
                 "kind": wire.KIND_SERVICE,
                 "backplanes": list(self._backplanes),
@@ -216,6 +366,13 @@ class TuningService:
                     }
                     for name, session in self._tenants.items()
                 ],
+                "scheduler": {
+                    "pending": {
+                        name: [wire.event_to_wire(e) for e in events]
+                        for name, events in pending.items()
+                        if events
+                    },
+                },
             }
 
     def restore(self, payload):
@@ -259,17 +416,28 @@ class TuningService:
                 self._tenants[session.name] = session
                 plane.tenants.append(session.name)
                 restored[session.name] = session
+            scheduler_state = payload.get("scheduler") or {}
+            for name, events in scheduler_state.get("pending", {}).items():
+                self._pending[name] = [
+                    wire.event_from_wire(e) for e in events
+                ]
             return restored
 
     def save_state(self, state_dir):
         """Write the service snapshot to ``<state_dir>/service.json``
         (atomic rename, so a crash mid-write never corrupts the last
         good snapshot).  Returns the path written."""
+        path = self._write_state(state_dir, self.snapshot())
+        self._snapshots += 1
+        self._last_snapshot_time = time.time()
+        return path
+
+    def _write_state(self, state_dir, payload):
         os.makedirs(state_dir, exist_ok=True)
         path = os.path.join(state_dir, STATE_FILENAME)
         scratch = path + ".tmp"
         with open(scratch, "w") as f:
-            f.write(wire.dumps(self.snapshot(), indent=2))
+            f.write(wire.dumps(payload, indent=2))
         os.replace(scratch, path)
         return path
 
@@ -288,8 +456,19 @@ class TuningService:
     # Monitoring.
     # ------------------------------------------------------------------
 
+    def queue_depths(self):
+        """Buffered-but-not-ingested events per tenant: live scheduler
+        buffers during a run, restored pending buffers between runs."""
+        if self._runtime is not None:
+            return self._runtime.queue_depths()
+        return {name: len(self._pending.get(name, ()))
+                for name in self._tenants}
+
     def status(self):
         """Mergeable point-in-time snapshot of every tenant and pool."""
+        age = None
+        if self._last_snapshot_time is not None:
+            age = time.time() - self._last_snapshot_time
         return {
             "tenants": {
                 name: session.status()
@@ -299,19 +478,26 @@ class TuningService:
                 key: plane.status()
                 for key, plane in self._backplanes.items()
             },
+            "runtime": {
+                "active": self._runtime is not None,
+                "queue_depths": self.queue_depths(),
+                "snapshots": self._snapshots,
+                "last_snapshot_age": age,
+            },
         }
 
     def status_text(self):
         """The status snapshot as the terminal panel ``serve`` prints."""
         snapshot = self.status()
+        depths = snapshot["runtime"]["queue_depths"]
         lines = [
-            "%-12s %-10s %8s %7s %7s %6s %6s %6s  %s"
+            "%-12s %-10s %8s %7s %7s %6s %6s %6s %6s  %s"
             % ("tenant", "phase", "queries", "epochs", "drifts",
-               "alerts", "adopt", "recs", "configuration")
+               "alerts", "adopt", "recs", "queue", "configuration")
         ]
         for name, t in snapshot["tenants"].items():
             lines.append(
-                "%-12s %-10s %8d %7d %7d %6d %6d %6d  %s"
+                "%-12s %-10s %8d %7d %7d %6d %6d %6d %6d  %s"
                 % (
                     name,
                     t["phase"] or "-",
@@ -321,6 +507,7 @@ class TuningService:
                     t["alerts"],
                     t["adoptions"],
                     t["recommendations"],
+                    depths.get(name, 0),
                     ",".join(t["configuration"]) or "(none)",
                 )
             )
@@ -340,4 +527,15 @@ class TuningService:
                     plane["hit_rate"],
                 )
             )
+        runtime = snapshot["runtime"]
+        age = runtime["last_snapshot_age"]
+        lines.append(
+            "runtime: %s snapshots=%d last_snapshot_age=%s queued=%d"
+            % (
+                "scheduling" if runtime["active"] else "idle",
+                runtime["snapshots"],
+                "%.1fs" % age if age is not None else "-",
+                sum(runtime["queue_depths"].values()),
+            )
+        )
         return "\n".join(lines)

@@ -17,17 +17,21 @@ every query — and adds what a long-lived service needs on top:
 Tenants advance on their own epochs; everything expensive (INUM cache
 builds, exact optimizer plans) flows through the shared backplane
 evaluator, so work one tenant pays for is a cache hit for the next.
-A session is driven by one thread at a time (the service assigns one
-worker per tenant); *different* sessions sharing an evaluator may run
+A session is not reentrant: it is advanced by one driver at a time —
+normally the cooperative :class:`~repro.runtime.Scheduler`, one step
+(:meth:`ingest_steps`) after another, or a single legacy ``drain()``
+thread; *different* sessions sharing an evaluator may run
 concurrently.
 """
 
 from collections import deque
 from dataclasses import asdict, dataclass
+from functools import partial
 
 from repro.colt import ColtSettings
 from repro.designer.facade import Designer
 from repro.evaluation import wire
+from repro.runtime.steps import Step
 from repro.util import WireFormatError
 
 
@@ -97,37 +101,112 @@ class TenantSession:
         self._finished = False
 
     # ------------------------------------------------------------------
-    # Streaming ingest.
+    # Streaming ingest, decomposed into resumable steps.
     # ------------------------------------------------------------------
 
-    def ingest(self, event):
-        """Consume one query event: ``(phase, sql)`` or plain SQL."""
+    def ingest_steps(self, event):
+        """One event's ingest as a lazy sequence of resumable
+        :class:`~repro.runtime.Step`\\ s — the scheduler's view of
+        :meth:`ingest`, with an explicit pause point between steps.
+
+        Steps for a ``(phase, sql)`` event, in order:
+
+        1. ``drift`` (phase boundary only): record the drift event,
+           restore COLT's probing budget, review the stale window —
+           heavy when a drift refresh will run;
+        2. ``observe``: count the query, slide the window, feed COLT —
+           heavy because probing (and a closing epoch) builds the
+           query's INUM cache;
+        3. ``refresh`` (interval due only): the full-advisor pass over
+           the window.
+
+        Each condition is evaluated when the *previous* step has run
+        (generators advance lazily), so driving the steps to exhaustion
+        is exactly :meth:`ingest` — the compatibility shim literally
+        does that, which is what pins the two paths bit-identical.
+        """
         if isinstance(event, tuple):
             phase, sql = event
         else:
             phase, sql = None, event
         if phase is not None and phase != self._phase:
-            previous = self._phase
-            self._phase = phase
-            self._phases_seen.append(phase)
-            if previous is not None:
-                self.drift_events.append(
-                    DriftEvent(
-                        at_query=self.queries,
-                        from_phase=previous,
-                        to_phase=phase,
-                    )
+            heavy = (
+                self._phase is not None
+                and self.refresh_on_drift
+                and bool(self.window)
+            )
+            yield Step(
+                "drift",
+                run=partial(self._drift_step, phase),
+                heavy=heavy,
+                prewarm=tuple(self.window) if heavy else (),
+            )
+        prewarm = (sql,)
+        if self.tuner.will_end_epoch:
+            # The closing epoch re-prices every query it observed.
+            prewarm += self.tuner.pending_queries
+        yield Step(
+            "observe",
+            run=partial(self._observe_step, sql),
+            heavy=True,
+            prewarm=prewarm,
+        )
+        if self.recommend_every and self.queries % self.recommend_every == 0:
+            yield Step(
+                "refresh",
+                run=partial(self._refresh, "interval"),
+                heavy=True,
+                prewarm=tuple(self.window),
+            )
+
+    def _drift_step(self, phase):
+        previous = self._phase
+        self._phase = phase
+        self._phases_seen.append(phase)
+        if previous is not None:
+            self.drift_events.append(
+                DriftEvent(
+                    at_query=self.queries,
+                    from_phase=previous,
+                    to_phase=phase,
                 )
-                # The host *knows* the mix shifted; skip COLT's discovery
-                # lag and review the design the old phase tuned for.
-                self.tuner.notify_workload_shift()
-                if self.refresh_on_drift and self.window:
-                    self._refresh("drift")
+            )
+            # The host *knows* the mix shifted; skip COLT's discovery
+            # lag and review the design the old phase tuned for.
+            self.tuner.notify_workload_shift()
+            if self.refresh_on_drift and self.window:
+                self._refresh("drift")
+
+    def _observe_step(self, sql):
         self.queries += 1
         self.window.append(sql)
         self.tuner.observe(sql)
-        if self.recommend_every and self.queries % self.recommend_every == 0:
-            self._refresh("interval")
+
+    def finish_steps(self):
+        """The closing steps — flush the trailing COLT epoch, run the
+        final design review — as resumable steps.  Empty when already
+        finished, mirroring :meth:`finish`'s idempotence."""
+        if self._finished:
+            return
+        yield Step(
+            "flush",
+            run=self.tuner.flush,
+            heavy=bool(self.tuner.pending_queries),
+            prewarm=self.tuner.pending_queries,
+        )
+        if self.window:
+            yield Step(
+                "final",
+                run=partial(self._refresh, "final"),
+                heavy=True,
+                prewarm=tuple(self.window),
+            )
+        self._finished = True
+
+    def ingest(self, event):
+        """Consume one query event: ``(phase, sql)`` or plain SQL."""
+        for step in self.ingest_steps(event):
+            step.run()
 
     def drain(self, stream, finish=True):
         """Ingest an entire event stream (the blocking convenience)."""
@@ -139,12 +218,8 @@ class TenantSession:
 
     def finish(self):
         """Close the trailing COLT epoch and run a final design review."""
-        if self._finished:
-            return
-        self.tuner.flush()
-        if self.window:
-            self._refresh("final")
-        self._finished = True
+        for step in self.finish_steps():
+            step.run()
 
     # ------------------------------------------------------------------
     # Design refreshes.

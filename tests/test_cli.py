@@ -139,3 +139,30 @@ class TestCommands:
         assert code == 0
         assert "restored 1 tenant(s)" in text
         assert "      15 " in text  # resumed to the end of the stream
+
+    def test_serve_snapshot_interval_periodic_and_restorable(self, tmp_path):
+        """--snapshot-interval writes consistent snapshots at scheduler
+        pause points without stopping ingest; the state dir restores."""
+        import re
+
+        state = str(tmp_path / "state")
+        args = FAST + ["serve", "--tenants", "1", "--shards", "2",
+                       "--phase-length", "5", "--epoch", "5",
+                       "--refresh-every", "0", "--state-dir", state,
+                       "--snapshot-interval", "3"]
+        code, text = run_cli(args + ["--max-events", "8"])
+        assert code == 0
+        assert "state saved to" in text
+        count = int(re.search(r"snapshots=(\d+)", text).group(1))
+        assert count >= 3  # periodic pause-point snapshots + final save
+        code, text = run_cli(args)
+        assert code == 0
+        assert "restored 1 tenant(s)" in text
+        assert "      15 " in text
+
+    def test_serve_snapshot_interval_requires_state_dir(self):
+        code, text = run_cli(
+            FAST + ["serve", "--tenants", "1", "--snapshot-interval", "3"]
+        )
+        assert code == 2
+        assert "--state-dir" in text
