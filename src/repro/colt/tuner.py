@@ -407,11 +407,27 @@ class ColtTuner:
 
     # ------------------------------------------------------------------
 
+    def _epoch_cost(self, queries):
+        """Epoch scoring: the whole epoch priced under the materialized
+        design in one columnar-kernel pass
+        (:meth:`~repro.evaluation.WorkloadEvaluator.evaluate_many`).
+
+        This is the paper's cheap-evaluation thesis applied to the
+        online loop itself: scoring charges INUM plan-term estimates —
+        within the cost model's pinned tolerance of the optimizer —
+        instead of one exact optimizer probe per observed query, so
+        closing an epoch costs array reductions over caches the
+        scheduler has typically prewarmed.  What-if *probes* (the gain
+        refinements driving adoption) stay on the exact path."""
+        if not queries:
+            return 0.0
+        return self.evaluator.evaluate_many(
+            list(queries), [self.current]
+        ).totals[0]
+
     def _end_epoch(self):
         settings = self.settings
-        observed = sum(
-            self.session.cost(sql, self.current) for sql in self._epoch_queries
-        )
+        observed = self._epoch_cost(self._epoch_queries)
 
         alpha = settings.ewma_alpha
         for state in self.candidates.values():
@@ -498,11 +514,9 @@ class ColtTuner:
         recent = self.report.epochs[-1].observed_cost if self.report.epochs else 0.0
         baseline = max(recent, 1e-9)
         if not self.report.epochs:
-            # First epoch: compare against this epoch's observed cost.
-            baseline = max(
-                sum(self.session.cost(s, self.current) for s in self._epoch_queries),
-                1e-9,
-            )
+            # First epoch: compare against this epoch's observed cost
+            # (scored the same way _end_epoch scores it).
+            baseline = max(self._epoch_cost(self._epoch_queries), 1e-9)
         return gain / baseline
 
     def _materialization_cost(self, proposal):

@@ -66,6 +66,7 @@ class BipProblem:
     write_base_cost: float = 0.0
     index_penalties: list = field(default_factory=list)
     _prepared: list = field(default=None, repr=False)
+    _kernel: object = field(default=None, repr=False)
 
     @property
     def n_candidates(self):
@@ -79,13 +80,28 @@ class BipProblem:
         return self.config_costs([chosen_positions])[0]
 
     def config_costs(self, batch):
-        """Objective values for a batch of candidate-position sets.
+        """Objective values for a batch of candidate-position sets,
+        priced on the columnar :class:`~repro.evaluation.kernel.BipKernel`:
+        per-slot minima over applicable accesses (the default plus the
+        chosen candidates), per-plan sums and per-query minima run as
+        grouped array reductions over the whole batch at once.  Compiled
+        lazily, once — the problem is immutable after ``build_bip``.
+        Results equal :meth:`config_costs_scalar` (and therefore
+        ``config_cost``) bit-exactly."""
+        if self._kernel is None:
+            from repro.evaluation.kernel import BipKernel
+
+            self._kernel = BipKernel(self)
+        return self._kernel.evaluate(batch)
+
+    def config_costs_scalar(self, batch):
+        """The scalar reference pricing of a batch of candidate sets —
+        what :meth:`config_costs` is pinned bit-identical against.
 
         The per-slot option lists are preprocessed once per problem —
         default access cost split from the per-candidate options — so
         each batch member pays only the chosen-set minimum, not a
-        re-filtering of every option list.  Results equal
-        ``config_cost`` exactly.
+        re-filtering of every option list.
         """
         if self._prepared is None:
             # Lazily computed after build_bip finishes mutating queries;

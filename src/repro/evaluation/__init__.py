@@ -15,15 +15,26 @@ interaction analyzer) obtains configuration costs through a
   (vectorized, optionally multi-threaded) configuration pricing, a
   concurrent cache warm-up, plus the exact per-configuration
   :class:`~repro.optimizer.CostService` cache;
+* :mod:`repro.evaluation.kernel` — the columnar plan-term kernel:
+  cache entries compiled to flat cost/slot arrays, whole workload ×
+  configuration grids priced as numpy reductions (bit-identical to the
+  scalar walks), plus CoPhy's BIP pricing surface in the same form;
 * :mod:`repro.evaluation.wire` — the versioned, JSON-compatible wire
   format for signatures, cache entries reduced to plan terms, and
   tenant/service snapshots (what makes the backplane portable);
+  kernels are rebuilt from plan terms on load, never encoded;
 * :mod:`repro.evaluation.process` — the process-pool backplane: cache
   builds and batch pricing fanned across ``multiprocessing`` workers
   exchanging wire entries instead of shared memory.
 """
 
 from repro.evaluation.evaluator import BatchEvaluation, WorkloadEvaluator
+from repro.evaluation.kernel import (
+    BipKernel,
+    StatementKernel,
+    WorkloadKernel,
+    compile_statement,
+)
 from repro.evaluation.pool import InumCachePool, PoolStats
 from repro.evaluation.process import ProcessPoolBackplane
 from repro.evaluation.sharded import ShardedInumCachePool
@@ -32,6 +43,10 @@ from repro.evaluation.signature import query_signature, statement_key
 __all__ = [
     "BatchEvaluation",
     "WorkloadEvaluator",
+    "BipKernel",
+    "StatementKernel",
+    "WorkloadKernel",
+    "compile_statement",
     "InumCachePool",
     "PoolStats",
     "ProcessPoolBackplane",

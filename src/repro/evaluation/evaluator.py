@@ -12,12 +12,15 @@ configuration at a time.  This module centralizes costing:
   queries across workloads — share INUM plan caches instead of
   rebuilding them, with LRU bounding and exact hit/miss statistics;
 
-* a **vectorized evaluate phase**: :meth:`WorkloadEvaluator.evaluate_configurations`
-  compiles the workload once into flat (internal-cost, slot-id) plan
-  terms, resolves each distinct access slot against each configuration
-  exactly once, then prices every (configuration, query) pair with pure
-  arithmetic — with optional ``concurrent.futures`` fan-out across
-  queries;
+* a **vectorized evaluate phase**: :meth:`WorkloadEvaluator.evaluate_many`
+  prices the whole workload × configuration grid on the columnar
+  plan-term kernel (:mod:`repro.evaluation.kernel`) — statement kernels
+  compiled once per pool entry, fused into flat numpy arrays, slot
+  costs resolved once per distinct per-table design — while
+  :meth:`WorkloadEvaluator.evaluate_configurations` with
+  ``kernel=False`` keeps the scalar reference loop (per-slot /
+  per-statement dict memoization, optional ``concurrent.futures``
+  fan-out across queries), pinned bit-identical to the kernel;
 
 * the **exact-optimizer path** the what-if session needs: a per
   configuration :class:`~repro.optimizer.CostService` cache
@@ -34,6 +37,8 @@ import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.evaluation.pool import InumCachePool
 from repro.evaluation.signature import statement_key
@@ -88,7 +93,18 @@ class _CompiledWorkload:
     signatures: frozenset = frozenset()  # read-statement signatures used
 
 
-_MAX_COMPILED = 8  # compiled-workload memo entries kept (LRU)
+@dataclass
+class _KernelWorkload:
+    """A workload compiled onto the columnar kernel: per-position
+    weights plus either a write statement or the index of the distinct
+    read block inside the fused :class:`~repro.evaluation.kernel.WorkloadKernel`."""
+
+    positions: list = field(default_factory=list)  # (weight, sql, write, read)
+    kernel: object = None  # WorkloadKernel
+    signatures: frozenset = frozenset()  # read-statement signatures used
+
+
+_MAX_COMPILED = 16  # compiled-workload memo entries kept (LRU), both flavors
 _MAX_EXACT_SERVICES = 128  # per-config CostService cache bound (LRU)
 
 
@@ -102,13 +118,16 @@ class WorkloadEvaluator(InumCostModel):
     """
 
     def __init__(self, catalog, settings=None, pool=None, parallel=False,
-                 max_workers=None):
+                 max_workers=None, use_kernel=True):
         super().__init__(catalog, settings)
         self.pool = pool if pool is not None else InumCachePool()
         self.pool.attach(self.catalog, self.settings)
         self.pool.subscribe(self._forget)
         self.parallel = parallel
         self.max_workers = max_workers
+        # Batched pricing runs on the columnar kernel by default; the
+        # scalar loop survives as the pinned reference (kernel=False).
+        self.use_kernel = use_kernel
         self._signatures = {}  # statement sql -> canonical signature
         # signature -> {touched-table designs -> cost}; sharded like
         # _slot_costs so eviction drops one bucket, not a dict rebuild.
@@ -240,6 +259,12 @@ class WorkloadEvaluator(InumCostModel):
         else:
             for bq in targets:
                 self.cache_for(bq)
+        # Prewarm the compiled columnar kernels too: warm-up's contract
+        # is "the first evaluate pays no build work", and the kernel is
+        # part of that derived state (compiled once per resident entry,
+        # owned by the pool, dropped with it on eviction).
+        for bq in targets:
+            self.pool.kernel_for(self.signature(bq))
         return self.precompute_calls - before
 
     @property
@@ -267,19 +292,26 @@ class WorkloadEvaluator(InumCostModel):
     # Batched (vectorized) evaluation.
     # ------------------------------------------------------------------
 
-    def _compile(self, workload):
+    def _compile(self, workload, kernel=False):
         """Flatten a workload into plan terms over deduplicated slots.
 
-        Compiled workloads are memoized (small LRU), so repeated sweeps
-        over the same workload — the interaction analyzer prices one
-        batch per index pair — skip straight to the evaluate phase.
+        Two flavors share one LRU memo: the scalar reference
+        compilation (plan terms over slot-id tuples, priced by Python
+        loops) and the columnar ``kernel`` compilation (statement
+        kernels fused over a global slot table, priced by numpy
+        reductions).  Compiled workloads are memoized, so repeated
+        sweeps over the same workload — the interaction analyzer prices
+        one batch per index pair — skip straight to the evaluate phase.
         Entries referencing an evicted cache are dropped by
         :meth:`_forget`, never served stale.
         """
         # Materialize once: workloads may be one-shot iterators, and the
         # memo key must be derived from the same pass that compiles.
         pairs = [(self.bound(q), w) for q, w in workload_pairs(workload)]
-        key = tuple((bq.sql, w) for bq, w in pairs)
+        key = (
+            "kernel" if kernel else "scalar",
+            tuple((bq.sql, w) for bq, w in pairs),
+        )
         compiled = self._compiled.get(key)
         if compiled is not None:
             try:
@@ -287,7 +319,10 @@ class WorkloadEvaluator(InumCostModel):
             except KeyError:
                 pass  # concurrently pruned by _forget; object still valid
             return compiled
-        compiled = self._compile_fresh(pairs)
+        if kernel:
+            compiled = self._compile_kernel_fresh(pairs)
+        else:
+            compiled = self._compile_fresh(pairs)
         self._compiled[key] = compiled
         while len(self._compiled) > _MAX_COMPILED:
             try:
@@ -347,8 +382,85 @@ class WorkloadEvaluator(InumCostModel):
         )
         return compiled
 
+    def _compile_kernel_fresh(self, pairs):
+        """Compile a workload onto the columnar kernel: per-statement
+        kernels come from the pool (compiled once per resident entry,
+        shared across evaluators) and fuse into one
+        :class:`~repro.evaluation.kernel.WorkloadKernel` over a global
+        slot table — replacing the scalar compile's per-slot dict
+        memoization with array-column lookups."""
+        from repro.evaluation.kernel import WorkloadKernel, compile_statement
+
+        fused = WorkloadKernel()
+        compiled = _KernelWorkload(kernel=fused)
+        signatures = set()
+        for bq, weight in pairs:
+            if isinstance(bq, BoundWrite):
+                compiled.positions.append((weight, bq.sql, bq, None))
+                if bq.kind in ("update", "delete"):
+                    # Warm the locate cache now so the evaluate phase
+                    # issues zero optimizer calls even for writes.
+                    from repro.optimizer.writecost import locate_query
+
+                    self.cache_for(locate_query(bq))
+                continue
+            cache = self.cache_for(bq)
+            signature = self.signature(bq)
+            stmt_kernel = self.pool.kernel_for(signature)
+            if stmt_kernel is None:  # evicted between calls: compile inline
+                stmt_kernel = compile_statement(cache)
+            read = fused.add_statement(stmt_kernel)
+            signatures.add(signature)
+            compiled.positions.append((weight, bq.sql, None, read))
+        fused.seal()
+        compiled.signatures = frozenset(signatures)
+        return compiled
+
+    def evaluate_many(self, workload, configurations):
+        """Price the whole workload × configuration grid on the
+        columnar kernel (:mod:`repro.evaluation.kernel`): one
+        ``configurations × slots`` access-cost matrix, per-statement
+        numpy reductions, results bit-identical to the scalar batched
+        path and the per-call :meth:`cost`.  This is the batch seam
+        CoPhy sweeps, COLT epoch scoring, and doi prefetch route
+        through."""
+        return self.evaluate_configurations(workload, configurations,
+                                            kernel=True)
+
+    def _evaluate_kernel(self, compiled, configurations):
+        """The kernel evaluate phase: views and per-table design
+        signatures once per configuration, then pure array arithmetic
+        (plus the scalar write path — writes are few and analytic)."""
+        views = [_DesignView(self.catalog, c) for c in configurations]
+        fused = compiled.kernel
+        table_sigs = [
+            {name: view.design_signature(name) for name in fused.tables}
+            for view in views
+        ]
+        reads = fused.evaluate_many(views, table_sigs, self.slot_cost)
+        n_configs = len(views)
+        out = np.empty((n_configs, len(compiled.positions)), dtype=np.float64)
+        for s, (weight, __, write, read) in enumerate(compiled.positions):
+            if write is None:
+                out[:, s] = reads[read]
+            else:
+                out[:, s] = [
+                    self._write_cost(write, views[pos], configurations[pos])
+                    for pos in range(n_configs)
+                ]
+        with self._lock:  # exact even when tenant threads batch at once
+            self.evaluations += len(compiled.positions) * n_configs
+        # ndarray.tolist() yields the exact same Python floats the
+        # scalar path produces — float64 round-trips losslessly.
+        matrix = out.tolist()
+        return BatchEvaluation(
+            configurations=list(configurations),
+            weights=[weight for weight, __, __, __ in compiled.positions],
+            matrix=matrix,
+        )
+
     def evaluate_configurations(self, workload, configurations, parallel=None,
-                                max_workers=None):
+                                max_workers=None, kernel=None):
         """Price all *configurations* against all of *workload* in one pass.
 
         The evaluate phase issues zero optimizer calls (beyond cache
@@ -357,15 +469,28 @@ class WorkloadEvaluator(InumCostModel):
         per-statement costs keyed by canonical signature × the design of
         the tables the statement touches, and the per-table design
         signatures themselves, computed once per configuration rather
-        than once per slot occurrence.  With ``parallel=True`` queries
-        are fanned out across threads; the result is deterministic and
-        identical to the sequential path.
+        than once per slot occurrence.
+
+        ``kernel`` selects the engine: ``True`` prices the grid on the
+        columnar kernel (the default, via :attr:`use_kernel`), ``False``
+        forces the scalar reference loop.  Results are bit-identical
+        either way — the kernel accumulates in scalar order — which
+        ``tests/test_kernel.py`` pins exactly.  With ``parallel=True``
+        the scalar path fans queries out across threads (the kernel
+        path is already vectorized and ignores the flag); the result is
+        deterministic and identical in every mode.
         """
         if parallel is None:
             parallel = self.parallel
         if max_workers is None:
             max_workers = self.max_workers
+        if kernel is None:
+            kernel = self.use_kernel
         configurations = [c or Configuration.empty() for c in configurations]
+        if kernel:
+            return self._evaluate_kernel(
+                self._compile(workload, kernel=True), configurations
+            )
         compiled = self._compile(workload)
         views = [_DesignView(self.catalog, c) for c in configurations]
         table_sigs = [

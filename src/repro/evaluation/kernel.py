@@ -1,0 +1,380 @@
+"""The columnar plan-term kernel: the costing hot path as array passes.
+
+INUM makes what-if costing cheap by *precomputing* plan terms; until
+this module the backplane still *consumed* those terms with scalar
+Python loops — per plan, per slot, per configuration — so batch pricing
+paid interpreter overhead proportional to the whole workload ×
+configuration grid.  The kernel compiles the terms once into flat
+numpy arrays and prices the grid as vectorized reductions:
+
+* :class:`StatementKernel` — one cache entry's plan terms in columnar
+  form: a flat ``internal`` cost vector (one entry per cached plan) and
+  a padded ``slot_idx`` matrix mapping every plan to its (deduplicated)
+  access slots, in slot order;
+
+* :class:`WorkloadKernel` — many statement kernels fused over one
+  global slot table, evaluated by :meth:`~WorkloadKernel.evaluate_many`:
+  a ``configurations × slots`` access-cost matrix is filled per distinct
+  per-table design (the slot → (table, design) cost columns are
+  memoized), then every statement's grid prices as
+  ``internal + Σ slot columns`` followed by a min over plans;
+
+* :class:`BipKernel` — CoPhy's pricing surface
+  (:meth:`~repro.cophy.bip.BipProblem.config_costs`) in the same form:
+  per-slot *min over applicable accesses* (default access plus the
+  chosen candidate indexes), per-plan sums, per-query mins, computed
+  for a whole batch of candidate sets at once.
+
+Results are **bit-identical** to the scalar reference walks
+(:func:`repro.inum.cache.evaluate_terms`,
+:meth:`~repro.cophy.bip.BipProblem.config_costs_scalar`), not merely
+close: every floating-point accumulation runs in exactly the scalar
+order — plan costs accumulate slot by slot via gathered element-wise
+adds (never a reassociating matmul), infeasible slots price as ``+inf``
+(absorbing, like the scalar early-break), and minima are
+order-independent.  ``tests/test_kernel.py`` pins the equality with
+exact max/min witnesses over fuzzed catalogs, configurations, and
+weights.
+
+Compiled kernels are *derived* state: the
+:class:`~repro.evaluation.pool.InumCachePool` owns their lifetime
+(compiled on demand, dropped with the entry they derive from) and the
+wire format rebuilds them from plan terms on load — they never cross
+the wire themselves.
+"""
+
+import numpy as np
+
+__all__ = [
+    "StatementKernel",
+    "WorkloadKernel",
+    "BipKernel",
+    "compile_statement",
+]
+
+# Safety valve for long-lived workload kernels sweeping ever-fresh
+# designs: past this many memoized (table, design) cost columns the memo
+# is dropped and rebuilt on demand (each rebuild is a handful of
+# already-memoized slot-cost lookups, so the reset is cheap).
+_MAX_DESIGN_COLUMNS = 4096
+
+
+class StatementKernel:
+    """One cache entry's plan terms as flat arrays.
+
+    ``slots`` lists the entry's distinct access slots (first-appearance
+    order); ``internal`` is the per-plan internal cost vector; and
+    ``slot_idx[p, k]`` is the local id of plan ``p``'s ``k``-th slot in
+    *plan order*, padded with the sentinel id ``len(slots)`` (which
+    always prices as 0.0).  Keeping plan order — rather than, say, a
+    plan × slot membership matrix — is what makes the evaluation
+    bit-identical to the scalar walk: costs accumulate in exactly the
+    order ``internal + slot₀ + slot₁ + …``.
+    """
+
+    __slots__ = ("bound_query", "slots", "internal", "slot_idx", "tables")
+
+    def __init__(self, bound_query, slots, internal, slot_idx):
+        self.bound_query = bound_query
+        self.slots = slots
+        self.internal = internal
+        self.slot_idx = slot_idx
+        self.tables = tuple(sorted({slot.table_name for slot in slots}))
+
+    @property
+    def n_plans(self):
+        return self.internal.shape[0]
+
+    @property
+    def n_slots(self):
+        return len(self.slots)
+
+
+def compile_statement(cache):
+    """Compile one :class:`~repro.inum.cache.QueryCache` to a
+    :class:`StatementKernel`.  Pure function of the entry's plan terms;
+    the pool memoizes the result per resident entry
+    (:meth:`~repro.evaluation.pool.InumCachePool.kernel_for`)."""
+    internal = []
+    slots = []
+    slot_ids = {}
+    rows = []
+    for internal_cost, plan_slots in cache.plan_terms():
+        internal.append(internal_cost)
+        ids = []
+        for slot in plan_slots:
+            sid = slot_ids.get(slot)
+            if sid is None:
+                sid = len(slots)
+                slot_ids[slot] = sid
+                slots.append(slot)
+            ids.append(sid)
+        rows.append(ids)
+    width = max((len(row) for row in rows), default=0)
+    sentinel = len(slots)
+    slot_idx = np.full((len(rows), width), sentinel, dtype=np.intp)
+    for p, ids in enumerate(rows):
+        slot_idx[p, : len(ids)] = ids
+    return StatementKernel(
+        bound_query=cache.bound_query,
+        slots=tuple(slots),
+        internal=np.asarray(internal, dtype=np.float64),
+        slot_idx=slot_idx,
+    )
+
+
+class WorkloadKernel:
+    """Distinct statement kernels fused over one global slot table.
+
+    The global access-cost matrix has one column per distinct
+    ``(statement, slot)`` pair (two alias-renamed duplicates share one
+    statement kernel and therefore one column block) plus a sentinel
+    column 0 that always prices 0.0 — the padding target for plans with
+    fewer slots than the widest plan.
+
+    All statements' plans are flattened into *one* global plan arena at
+    :meth:`seal` time, so an evaluate call is a fixed handful of array
+    operations — one gathered add per slot position, one grouped min —
+    regardless of how many statements the workload holds.
+    """
+
+    def __init__(self):
+        self.kernels = []  # StatementKernel per distinct read statement
+        self.slots = []  # global: (slot, bound_query)
+        self.slot_tables = []  # table name per global slot
+        self.table_columns = {}  # table -> np.intp matrix-column array
+        self._read_by_sql = {}
+        self._plan_rows = []  # per plan: global matrix columns, plan order
+        self._plan_internal = []
+        self._read_starts = []  # first plan index of each read statement
+        self._columns = {}  # (table, design signature) -> cost column
+        # Filled by seal():
+        self.plan_internal = None  # np [n_plans_total]
+        self.plan_idx = None  # np.intp [n_plans_total, max slots per plan]
+        self.read_starts = None  # np.intp [n_reads]
+
+    @property
+    def tables(self):
+        """Tables whose design any slot depends on (sorted)."""
+        return tuple(sorted(self.table_columns))
+
+    @property
+    def n_reads(self):
+        return len(self.kernels)
+
+    def add_statement(self, kernel):
+        """Register *kernel* (deduplicated by its bound query's SQL);
+        returns the read index its cost row lives at."""
+        sql = kernel.bound_query.sql
+        read = self._read_by_sql.get(sql)
+        if read is not None:
+            return read
+        base = len(self.slots)
+        for slot in kernel.slots:
+            self.slots.append((slot, kernel.bound_query))
+            self.slot_tables.append(slot.table_name)
+        # Matrix columns are 1-based (column 0 is the sentinel); the
+        # local sentinel id len(slots) maps to global column 0.
+        gmap = [base + 1 + j for j in range(kernel.n_slots)] + [0]
+        read = len(self.kernels)
+        self.kernels.append(kernel)
+        self._read_starts.append(len(self._plan_internal))
+        self._plan_internal.extend(kernel.internal.tolist())
+        for row in kernel.slot_idx:
+            self._plan_rows.append([gmap[local] for local in row])
+        self._read_by_sql[sql] = read
+        return read
+
+    def seal(self):
+        """Freeze the per-table column arrays and the global plan arena
+        (call once, after the last :meth:`add_statement`)."""
+        grouped = {}
+        for j, table in enumerate(self.slot_tables):
+            grouped.setdefault(table, []).append(j + 1)
+        self.table_columns = {
+            table: np.asarray(cols, dtype=np.intp)
+            for table, cols in grouped.items()
+        }
+        width = max((len(row) for row in self._plan_rows), default=0)
+        self.plan_idx = np.zeros(
+            (len(self._plan_rows), width), dtype=np.intp
+        )
+        for p, row in enumerate(self._plan_rows):
+            self.plan_idx[p, : len(row)] = row
+        self.plan_internal = np.asarray(self._plan_internal, dtype=np.float64)
+        self.read_starts = np.asarray(self._read_starts, dtype=np.intp)
+
+    # ------------------------------------------------------------------
+
+    def _design_column(self, table, signature, view, slot_cost):
+        """Access costs of *table*'s slots under one per-table design —
+        the kernel's slot → (table, candidate-access) cost column,
+        memoized across configurations and across evaluate calls."""
+        column = self._columns.get((table, signature))
+        if column is None:
+            values = []
+            for g in self.table_columns[table]:
+                slot, bq = self.slots[g - 1]
+                cost = slot_cost(bq, slot, view, signature)
+                values.append(np.inf if cost is None else cost)
+            column = np.asarray(values, dtype=np.float64)
+            if len(self._columns) >= _MAX_DESIGN_COLUMNS:
+                self._columns.clear()
+            self._columns[(table, signature)] = column
+        return column
+
+    def evaluate_many(self, views, table_sigs, slot_cost):
+        """Price every read statement under every configuration.
+
+        ``views`` are the per-configuration
+        :class:`~repro.inum.cache._DesignView` facades, ``table_sigs``
+        the per-configuration ``{table: design signature}`` dicts, and
+        ``slot_cost(bq, slot, view, signature)`` the (memoized) scalar
+        slot pricer — ``None`` meaning infeasible.  Returns an array of
+        shape ``(n_reads, n_configurations)``.
+
+        Work scales with *distinct designs*, not configurations: each
+        table's designs are factorized across the batch, one cost
+        column is resolved per distinct design, and the full matrix is
+        a gather.  Statement pricing is then pure array arithmetic in
+        scalar accumulation order.
+        """
+        n_configs = len(views)
+        matrix = np.zeros((n_configs, len(self.slots) + 1), dtype=np.float64)
+        for table, cols in self.table_columns.items():
+            distinct = {}
+            representatives = []
+            inverse = np.empty(n_configs, dtype=np.intp)
+            for c in range(n_configs):
+                signature = table_sigs[c][table]
+                u = distinct.get(signature)
+                if u is None:
+                    u = len(distinct)
+                    distinct[signature] = u
+                    representatives.append(c)
+                inverse[c] = u
+            block = np.empty((len(distinct), len(cols)), dtype=np.float64)
+            for signature, u in distinct.items():
+                block[u] = self._design_column(
+                    table, signature, views[representatives[u]], slot_cost
+                )
+            matrix[:, cols] = block[inverse]
+
+        if not self.kernels:
+            return np.empty((0, n_configs), dtype=np.float64)
+        acc = np.broadcast_to(
+            self.plan_internal, (n_configs, self.plan_internal.shape[0])
+        ).copy()
+        for k in range(self.plan_idx.shape[1]):
+            acc += matrix[:, self.plan_idx[:, k]]
+        # Min over each statement's plan group: infeasible plans price
+        # +inf (absorbed, like the scalar early-break); a statement with
+        # no feasible plan at all surfaces as +inf and raises, exactly
+        # like the scalar walk.
+        best = np.minimum.reduceat(acc, self.read_starts, axis=1)
+        if not np.isfinite(best).all():
+            raise RuntimeError("INUM cache produced no feasible plan")
+        return best.T.copy()
+
+
+class BipKernel:
+    """CoPhy's BIP pricing surface in columnar form.
+
+    Compiled once per (immutable) :class:`~repro.cophy.bip.BipProblem`;
+    :meth:`evaluate` prices a whole batch of candidate-position sets —
+    the greedy frontier sweep, solver incumbents, base-cost probes —
+    with per-slot minima over applicable accesses computed as one
+    masked grouped reduction.
+    """
+
+    def __init__(self, problem):
+        opt_cost = []
+        opt_col = []  # candidate position, or n_candidates for default
+        slot_starts = []
+        plan_internal = []
+        plan_rows = []  # per plan: global slot ids in slot order
+        plan_starts = []
+        weights = []
+        n = problem.n_candidates
+        for term in problem.queries:
+            plan_starts.append(len(plan_internal))
+            weights.append(term.weight)
+            for plan in term.plans:
+                plan_internal.append(plan.internal_cost)
+                ids = []
+                for slot in plan.slots:
+                    sid = len(slot_starts)
+                    slot_starts.append(len(opt_cost))
+                    for pos, cost in slot.options:
+                        opt_col.append(n if pos == -1 else pos)
+                        opt_cost.append(cost)
+                    ids.append(sid)
+                plan_rows.append(ids)
+        width = max((len(row) for row in plan_rows), default=0)
+        sentinel = len(slot_starts)
+        gidx = np.full((len(plan_rows), width), sentinel, dtype=np.intp)
+        for p, ids in enumerate(plan_rows):
+            gidx[p, : len(ids)] = ids
+        self.n_candidates = n
+        self.weights = weights
+        self.write_base_cost = problem.write_base_cost
+        self.index_penalties = problem.index_penalties
+        self.opt_cost = np.asarray(opt_cost, dtype=np.float64)
+        self.opt_col = np.asarray(opt_col, dtype=np.intp)
+        self.slot_starts = np.asarray(slot_starts, dtype=np.intp)
+        self.n_slots = len(slot_starts)
+        self.plan_internal = np.asarray(plan_internal, dtype=np.float64)
+        self.plan_idx = gidx
+        self.plan_starts = np.asarray(plan_starts, dtype=np.intp)
+
+    def evaluate(self, batch):
+        """Objective values for *batch* (iterables of chosen candidate
+        positions); equals the scalar
+        :meth:`~repro.cophy.bip.BipProblem.config_costs_scalar` exactly
+        — including the base/penalty accumulation, which runs through
+        the very same Python expressions."""
+        batch = [list(chosen) for chosen in batch]
+        n_batch = len(batch)
+        if not n_batch:
+            return []
+        chosen_cols = np.zeros(
+            (n_batch, self.n_candidates + 1), dtype=bool
+        )
+        chosen_cols[:, self.n_candidates] = True  # the default access
+        penalties = np.empty(n_batch, dtype=np.float64)
+        for b, chosen_positions in enumerate(batch):
+            chosen = set(chosen_positions)
+            for pos in chosen:
+                chosen_cols[b, pos] = True
+            # Scalar-identical base: same expression, same set iteration.
+            total = self.write_base_cost
+            if self.index_penalties:
+                total += sum(self.index_penalties[pos] for pos in chosen)
+            penalties[b] = total
+
+        if self.n_slots:
+            masked = np.where(
+                chosen_cols[:, self.opt_col], self.opt_cost, np.inf
+            )
+            winners = np.minimum.reduceat(masked, self.slot_starts, axis=1)
+            winners = np.concatenate(
+                [winners, np.zeros((n_batch, 1))], axis=1
+            )
+        else:
+            winners = np.zeros((n_batch, 1), dtype=np.float64)
+
+        acc = np.broadcast_to(
+            self.plan_internal, (n_batch, self.plan_internal.shape[0])
+        ).copy()
+        for k in range(self.plan_idx.shape[1]):
+            acc += winners[:, self.plan_idx[:, k]]
+        if self.plan_starts.size:
+            best = np.minimum.reduceat(acc, self.plan_starts, axis=1)
+            if not np.isfinite(best).all():
+                raise RuntimeError("BIP has an infeasible query term")
+            totals = penalties
+            for q in range(self.plan_starts.size):
+                totals += self.weights[q] * best[:, q]
+        else:
+            totals = penalties
+        return totals.tolist()

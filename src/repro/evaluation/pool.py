@@ -93,6 +93,7 @@ class InumCachePool:
     _owner: tuple = field(default=None, repr=False)  # (catalog, settings)
     _listeners: list = field(default_factory=list, repr=False)  # weak refs
     _flights: dict = field(default_factory=dict, repr=False)  # sig -> _BuildFlight
+    _kernels: dict = field(default_factory=dict, repr=False)  # sig -> StatementKernel
 
     def __post_init__(self):
         if self.capacity is not None and self.capacity <= 0:
@@ -163,18 +164,54 @@ class InumCachePool:
     def put(self, signature, cache):
         """Insert a cache; returns the ``(signature, cache)`` pairs evicted
         to make room, so the owner can drop memo entries derived from
-        them (bounding *total* memory, not just resident caches)."""
+        them (bounding *total* memory, not just resident caches).
+
+        Compiled kernels are invalidated alongside: overwriting an
+        entry drops its (now stale) kernel, and every eviction takes
+        the evicted entry's kernel with it — compiled arrays never
+        outlive the plan terms they were derived from."""
         with self._lock:
+            self._kernels.pop(signature, None)
             self._entries[signature] = cache
             self._entries.move_to_end(signature)
             self.stats.optimizer_calls += cache.build_optimizer_calls
             evicted = []
             while self.capacity is not None \
                     and len(self._entries) > self.capacity:
-                evicted.append(self._entries.popitem(last=False))
+                dropped = self._entries.popitem(last=False)
+                self._kernels.pop(dropped[0], None)
+                evicted.append(dropped)
                 self.stats.evictions += 1
             self._notify(evicted)
             return evicted
+
+    def kernel_for(self, signature):
+        """The compiled columnar kernel for a *resident* entry, built
+        on first request and owned by the pool: ``None`` when the
+        signature is not resident — a kernel never outlives its entry.
+
+        Compilation is a pure function of the entry's plan terms (see
+        :func:`repro.evaluation.kernel.compile_statement`), cheap
+        enough to run under the pool lock; every evaluator sharing the
+        pool then shares one compiled form per entry, exactly like the
+        entries themselves."""
+        with self._lock:
+            cache = self._entries.get(signature)
+            if cache is None:
+                return None
+            kernel = self._kernels.get(signature)
+            if kernel is None:
+                from repro.evaluation.kernel import compile_statement
+
+                kernel = compile_statement(cache)
+                self._kernels[signature] = kernel
+            return kernel
+
+    @property
+    def kernel_count(self):
+        """How many resident entries currently have a compiled kernel."""
+        with self._lock:
+            return len(self._kernels)
 
     def get_or_build(self, signature, builder):
         """The cache for *signature*, built (via ``builder()``) at most
@@ -236,5 +273,6 @@ class InumCachePool:
         with self._lock:
             dropped = list(self._entries.items())
             self._entries.clear()
+            self._kernels.clear()
             self._notify(dropped)
             return dropped

@@ -233,13 +233,15 @@ class ProcessPoolBackplane:
         if self.processes <= 1:
             for bq, __ in targets:
                 evaluator.cache_for(bq)
+                evaluator.pool.kernel_for(evaluator.signature(bq))
             return evaluator.precompute_calls - before
         pool = self._worker_pool()
         tasks = [task for __, task in targets]
         for text in pool.imap_unordered(_warm_task, tasks, chunksize=1):
-            signature, cache = wire.loads(text, evaluator.catalog)
-            if signature not in evaluator.pool:
-                evaluator.pool.put(signature, cache)
+            # pool= installs the entry *and* rebuilds its columnar
+            # kernel from the shipped plan terms, so offloaded warm-up
+            # prewarms compiled kernels, not just raw caches.
+            wire.loads(text, evaluator.catalog, pool=evaluator.pool)
         return evaluator.precompute_calls - before
 
     # ------------------------------------------------------------------
@@ -285,9 +287,7 @@ class ProcessPoolBackplane:
             for offset, column in enumerate(chunk_columns):
                 columns[start + offset] = column
             for text in entries:
-                signature, cache = wire.loads(text, evaluator.catalog)
-                if signature not in evaluator.pool:
-                    evaluator.pool.put(signature, cache)
+                wire.loads(text, evaluator.catalog, pool=evaluator.pool)
         matrix = [
             [columns[s][c] for s in range(len(pairs))]
             for c in range(len(configurations))

@@ -98,6 +98,16 @@ class ShardedInumCachePool:
     def get_or_build(self, signature, builder):
         return self.shard_for(signature).get_or_build(signature, builder)
 
+    def kernel_for(self, signature):
+        """Compiled columnar kernel for a resident entry (built, owned
+        and invalidated by the owning shard; ``None`` when absent)."""
+        return self.shard_for(signature).kernel_for(signature)
+
+    @property
+    def kernel_count(self):
+        """Resident compiled kernels across all shards."""
+        return sum(shard.kernel_count for shard in self._shards)
+
     def __len__(self):
         return sum(len(shard) for shard in self._shards)
 

@@ -32,7 +32,10 @@ state a canonical, versioned, JSON-compatible form:
 Every payload is stamped with :data:`WIRE_VERSION`; :func:`loads`
 rejects a mismatch with :class:`~repro.util.WireFormatError` instead of
 guessing.  Consumers: the :class:`~repro.evaluation.process.ProcessPoolBackplane`
-ships entries from worker processes to the parent pool, and
+ships entries from worker processes to the parent pool (``loads`` with
+``pool=`` installs each entry *and* rebuilds its columnar kernel from
+the just-decoded plan terms — compiled arrays are derived state and
+never encoded, so the format does not move), and
 ``python -m repro serve --state-dir`` persists whole-service snapshots
 (periodically, with ``--snapshot-interval``, at scheduler pause points).
 """
@@ -245,13 +248,22 @@ def check_version(payload):
     return payload
 
 
-def loads(text, catalog=None):
+def loads(text, catalog=None, pool=None):
     """Parse a wire-format JSON string.
 
     Cache-entry payloads need *catalog* and return ``(signature,
     QueryCache)``; tenant/service payloads return the validated dict —
     they are materialized by :meth:`TenantSession.from_snapshot` /
-    :meth:`TuningService.restore`, which own the live objects."""
+    :meth:`TuningService.restore`, which own the live objects.
+
+    With *pool* (an :class:`~repro.evaluation.InumCachePool` or its
+    sharded twin) a cache entry is additionally *installed*: put into
+    the pool if its signature is not already resident, and its columnar
+    kernel rebuilt from the just-loaded plan terms
+    (:meth:`~repro.evaluation.pool.InumCachePool.kernel_for`).  Kernels
+    never cross the wire — they are derived state, recompiled on the
+    receiving side from the plan terms that do — so the encoding is
+    unchanged and the wire version does not move."""
     payload = check_version(json.loads(text))
     kind = payload.get("kind")
     if kind == KIND_ENTRY:
@@ -259,7 +271,12 @@ def loads(text, catalog=None):
             raise WireFormatError(
                 "deserializing a cache entry requires a catalog"
             )
-        return entry_from_wire(payload, catalog)
+        signature, cache = entry_from_wire(payload, catalog)
+        if pool is not None:
+            if signature not in pool:
+                pool.put(signature, cache)
+            pool.kernel_for(signature)
+        return signature, cache
     if kind in (KIND_TENANT, KIND_SERVICE):
         return payload
     raise WireFormatError("unknown wire payload kind %r" % (kind,))

@@ -70,12 +70,17 @@ class InteractionAnalyzer:
         """Batch-price index subsets into the cost cache.
 
         When the cost model is a :class:`~repro.evaluation.WorkloadEvaluator`
-        the whole batch is evaluated in one vectorized pass; with a plain
-        model this is a no-op and costs are computed lazily as before.
-        Either way the numbers are identical (the equivalence suite pins
-        this), so prefetching is purely a throughput lever.
+        the whole batch is priced in one columnar-kernel pass
+        (:meth:`~repro.evaluation.WorkloadEvaluator.evaluate_many`);
+        with a plain model this is a no-op and costs are computed
+        lazily as before.  Either way the numbers are identical (the
+        equivalence suite pins this), so prefetching is purely a
+        throughput lever.
         """
-        if not hasattr(self.inum, "evaluate_configurations"):
+        evaluate = getattr(self.inum, "evaluate_many", None)
+        if evaluate is None:
+            evaluate = getattr(self.inum, "evaluate_configurations", None)
+        if evaluate is None:
             return
         missing = [
             key
@@ -84,7 +89,7 @@ class InteractionAnalyzer:
         ]
         if not missing:
             return
-        totals = self.inum.evaluate_configurations(
+        totals = evaluate(
             self.workload, [Configuration(indexes=key) for key in missing]
         ).totals
         for key, total in zip(missing, totals):

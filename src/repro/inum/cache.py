@@ -109,6 +109,46 @@ class QueryCache:
         )
 
 
+def evaluate_terms(cache, price_slot):
+    """The scalar reference walk over one entry's plan terms.
+
+    ``price_slot(bound_query, slot)`` returns ``None`` for an
+    infeasible slot or a ``(cost, payload)`` pair; the walk sums each
+    plan's slot costs onto its internal cost (in slot order), skips
+    infeasible plans, and returns ``(best_cost, payloads)`` where
+    ``payloads`` are the winning plan's per-slot payloads in slot
+    order.  Raises when no cached plan is feasible.
+
+    This is the *single* scalar consumer of plan terms: plain
+    evaluation (:meth:`InumCostModel._evaluate`) and usage-aware
+    evaluation (:meth:`InumCostModel.cost_with_usage`) are both thin
+    wrappers, and the columnar kernel
+    (:mod:`repro.evaluation.kernel`) is pinned bit-identical to this
+    walk — so the three consumers cannot drift.
+    """
+    bq = cache.bound_query
+    best = math.inf
+    best_payloads = ()
+    for internal_cost, slots in cache.plan_terms():
+        total = internal_cost
+        payloads = []
+        feasible = True
+        for slot in slots:
+            priced = price_slot(bq, slot)
+            if priced is None:
+                feasible = False
+                break
+            cost, payload = priced
+            total += cost
+            payloads.append(payload)
+        if feasible and total < best:
+            best = total
+            best_payloads = tuple(payloads)
+    if not math.isfinite(best):
+        raise RuntimeError("INUM cache produced no feasible plan")
+    return best, best_payloads
+
+
 class InumCostModel:
     """Workload-level INUM: lazy per-query caches over one base catalog."""
 
@@ -212,21 +252,12 @@ class InumCostModel:
         trees — so an entry deserialized from the wire format evaluates
         exactly like one built in-process.
         """
-        bq = cache.bound_query
-        best = math.inf
-        for internal_cost, slots in cache.plan_terms():
-            total = internal_cost
-            feasible = True
-            for slot in slots:
-                cost = self.slot_cost(bq, slot, view)
-                if cost is None:
-                    feasible = False
-                    break
-                total += cost
-            if feasible:
-                best = min(best, total)
-        if not math.isfinite(best):
-            raise RuntimeError("INUM cache produced no feasible plan")
+
+        def price(bq, slot):
+            cost = self.slot_cost(bq, slot, view)
+            return None if cost is None else (cost, None)
+
+        best, __ = evaluate_terms(cache, price)
         return best
 
     # ------------------------------------------------------------------
@@ -256,28 +287,17 @@ class InumCostModel:
                 used |= locate_used
             return cost, used
         cache = self.cache_for(maybe_write)
-        bq = cache.bound_query
-        best = math.inf
-        best_used = frozenset()
-        for internal_cost, slots in cache.plan_terms():
-            total = internal_cost
-            used = set()
-            feasible = True
-            for slot in slots:
-                choice = _access_cost(slot, bq, view, self.settings, want_choice=True)
-                if choice is None:
-                    feasible = False
-                    break
-                cost, winners = choice
-                total += cost
-                for index in winners:
-                    if index in config.indexes:
-                        used.add(index)
-            if feasible and total < best:
-                best = total
-                best_used = frozenset(used)
-        if not math.isfinite(best):
-            raise RuntimeError("INUM cache produced no feasible plan")
+
+        def price(bq, slot):
+            return _access_cost(slot, bq, view, self.settings, want_choice=True)
+
+        best, winner_lists = evaluate_terms(cache, price)
+        best_used = frozenset(
+            index
+            for winners in winner_lists
+            for index in winners
+            if index in config.indexes
+        )
         self.evaluations += 1
         return best, best_used
 

@@ -15,7 +15,10 @@ elsewhere, or not at all never changes a result — only wall-clock time.
   :class:`~repro.evaluation.ProcessPoolBackplane`, so the pure-Python
   optimizer planning that dominates ingest leaves the scheduler thread
   (and the GIL) entirely; wire-format entries come back and land in the
-  shared pool before the step prices them inline.
+  shared pool — each with its columnar kernel rebuilt from the shipped
+  plan terms — before the step prices them inline, so epoch-closing
+  scoring and refresh sweeps start on prewarmed *compiled* kernels,
+  not raw caches.
 """
 
 from repro.evaluation.process import ProcessPoolBackplane

@@ -71,6 +71,9 @@ class Backplane:
             shards=self.pool.n_shards,
             hit_rate=stats.hit_rate,
             shard_stats=self.pool.shard_stats(),
+            # Compiled columnar kernels resident alongside the entries
+            # (pool-owned, dropped with their entry on eviction).
+            kernels=self.pool.kernel_count,
         )
         return snapshot
 
@@ -514,12 +517,14 @@ class TuningService:
         for key, plane in snapshot["backplanes"].items():
             lines.append(
                 "backplane %-8s tenants=%d shards=%d entries=%d "
-                "hits=%d misses=%d evictions=%d builds=%d hit_rate=%.2f"
+                "kernels=%d hits=%d misses=%d evictions=%d builds=%d "
+                "hit_rate=%.2f"
                 % (
                     key,
                     len(plane["tenants"]),
                     plane["shards"],
                     plane["pool_size"],
+                    plane["kernels"],
                     plane["hits"],
                     plane["misses"],
                     plane["evictions"],

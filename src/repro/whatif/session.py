@@ -182,8 +182,10 @@ class WhatIfSession:
 
         Named *estimate* deliberately: these are analytic INUM costs
         (within the cost model's tolerance of the optimizer), unlike
-        :meth:`cost`/:meth:`evaluate`, which are exact.  Use it to rank
-        a sweep cheaply, then confirm the winner on the exact path.
+        :meth:`cost`/:meth:`evaluate`, which are exact.  The sweep runs
+        on the evaluator's columnar kernel by default
+        (:mod:`repro.evaluation.kernel`).  Use it to rank a sweep
+        cheaply, then confirm the winner on the exact path.
         Returns a :class:`~repro.evaluation.BatchEvaluation`."""
         return self.evaluator.evaluate_configurations(
             workload, configurations, parallel=parallel

@@ -171,13 +171,21 @@ class TestClearCaches:
     def test_clear_resets_pool_and_memos(self, sdss_catalog):
         evaluator = WorkloadEvaluator(sdss_catalog)
         evaluator.cost(Q_RA, Configuration.empty())
-        evaluator.workload_costs([(Q_RA, 1.0), (Q_RMAG, 1.0)], [Configuration.empty()])
+        workload = [(Q_RA, 1.0), (Q_RMAG, 1.0)]
+        evaluator.workload_costs(workload, [Configuration.empty()])
+        # The scalar reference path still populates the statement memo.
+        evaluator.evaluate_configurations(
+            workload, [Configuration.empty()], kernel=False
+        )
         assert len(evaluator.pool) > 0
+        assert evaluator.pool.kernel_count > 0
         assert evaluator._slot_costs and evaluator._stmt_costs
+        assert evaluator._compiled
         before = evaluator.cost(Q_RA)
 
         evaluator.clear_caches()
         assert len(evaluator.pool) == 0
+        assert evaluator.pool.kernel_count == 0
         assert not evaluator._slot_costs
         assert not evaluator._stmt_costs
         assert not evaluator._compiled
