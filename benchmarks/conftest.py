@@ -3,7 +3,17 @@
 Each bench regenerates one artifact of the paper's evaluation (see
 DESIGN.md §4).  Fixtures are session-scoped: the SDSS-lite catalog and
 workload are the common substrate, built once.
+
+``--json PATH`` additionally writes every table a bench prints to
+machine-readable JSON: one ``BENCH_<slug>.json`` per table when PATH is
+a directory, or a single combined file otherwise.  The JSON carries the
+same numbers as the printed tables — it is a serialization, not a
+second measurement.
 """
+
+import json
+import os
+import re
 
 import pytest
 
@@ -38,8 +48,15 @@ def tpch_env():
     return catalog, workload
 
 
+_tables = []  # every print_table emission, in print order
+
+
 def print_table(title, header, rows):
     """Uniform experiment output: the series the demo panels display."""
+    _tables.append(
+        {"title": title, "header": list(header),
+         "rows": [list(row) for row in rows]}
+    )
     print("\n=== %s ===" % title)
     print("  " + "  ".join("%14s" % h for h in header))
     for row in rows:
@@ -50,3 +67,42 @@ def print_table(title, header, rows):
             else:
                 cells.append("%14s" % (value,))
         print("  " + "  ".join(cells))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write printed bench tables as JSON: one BENCH_<slug>.json "
+             "per table if PATH is a directory, else one combined file",
+    )
+
+
+def _slug(title):
+    return re.sub(r"[^A-Za-z0-9]+", "_", title).strip("_")
+
+
+def pytest_sessionfinish(session):
+    path = session.config.getoption("--json")
+    if not path or not _tables:
+        return
+    payload = [
+        {**table, "rows": [
+            [cell if isinstance(cell, (int, float, str, bool)) or cell is None
+             else str(cell) for cell in row]
+            for row in table["rows"]
+        ]}
+        for table in _tables
+    ]
+    if os.path.isdir(path):
+        for table in payload:
+            target = os.path.join(
+                path, "BENCH_%s.json" % _slug(table["title"])
+            )
+            with open(target, "w") as handle:
+                json.dump(table, handle, indent=2)
+    else:
+        with open(path, "w") as handle:
+            json.dump({"tables": payload}, handle, indent=2)

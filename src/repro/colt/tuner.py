@@ -418,9 +418,23 @@ class ColtTuner:
         instead of one exact optimizer probe per observed query, so
         closing an epoch costs array reductions over caches the
         scheduler has typically prewarmed.  What-if *probes* (the gain
-        refinements driving adoption) stay on the exact path."""
+        refinements driving adoption) stay on the exact path.
+
+        When the evaluator exposes the delta seam
+        (:meth:`~repro.evaluation.WorkloadEvaluator.evaluate_deltas`),
+        scoring routes through it with the materialized design as its
+        own parent: the epoch's resolved state is captured once and
+        memoized, so the re-scoring ``_projected_improvement`` does on
+        a first epoch — same workload, same design — answers from the
+        captured state instead of a second full pass.  Bit-identical
+        either way (the delta seam is pinned against the full pass)."""
         if not queries:
             return 0.0
+        deltas = getattr(self.evaluator, "evaluate_deltas", None)
+        if deltas is not None:
+            return deltas(
+                list(queries), self.current, [self.current]
+            ).totals[0]
         return self.evaluator.evaluate_many(
             list(queries), [self.current]
         ).totals[0]

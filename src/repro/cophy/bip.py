@@ -94,6 +94,21 @@ class BipProblem:
             self._kernel = BipKernel(self)
         return self._kernel.evaluate(batch)
 
+    def config_costs_delta(self, chosen, extensions):
+        """Objective values of ``chosen + [pos]`` for every extension
+        position, priced as single-index deltas off the captured parent
+        state (:meth:`~repro.evaluation.kernel.BipKernel.delta_state`) —
+        the greedy round's sweep without re-pricing untouched queries.
+        Equals ``config_costs([chosen + [pos] for pos in extensions])``
+        bit-exactly; *chosen* must be passed in selection order (the
+        penalty term replays its set-iteration order)."""
+        if self._kernel is None:
+            from repro.evaluation.kernel import BipKernel
+
+            self._kernel = BipKernel(self)
+        state = self._kernel.delta_state(chosen)
+        return self._kernel.evaluate_delta(state, extensions)
+
     def config_costs_scalar(self, batch):
         """The scalar reference pricing of a batch of candidate sets —
         what :meth:`config_costs` is pinned bit-identical against.
@@ -224,6 +239,11 @@ def build_bip(inum_model, workload, candidates, budget_pages, max_indexes=None):
             )
             continue
         add_query_term(bound, weight)
+    if not any(problem.index_penalties):
+        # Read-only workload: every penalty is +0.0, and adding +0.0 is
+        # the floating-point identity, so every pricing path can skip
+        # the per-configuration penalty sum without changing a bit.
+        problem.index_penalties = []
     return problem
 
 

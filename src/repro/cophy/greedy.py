@@ -13,11 +13,20 @@ import time
 from repro.cophy.solvers import SolveResult
 
 
-def greedy_select(problem, by_ratio=True):
+def greedy_select(problem, by_ratio=True, delta=True):
     """Greedy selection over a :class:`~repro.cophy.bip.BipProblem`.
 
     ``by_ratio=True`` ranks candidates by benefit/size (the usual
     knapsack heuristic); ``False`` ranks by raw benefit.
+
+    With ``delta=True`` (the default) each round prices its extensions
+    as single-index deltas off the current ``chosen``
+    (:meth:`~repro.cophy.bip.BipProblem.config_costs_delta`): the
+    parent's slot winners and per-plan sums are captured once per round
+    and only queries a candidate actually improves are re-minimized.
+    The chosen indexes, objective, and round-by-round decisions are
+    bit-identical to the full-batch sweep, which ``delta=False`` keeps
+    available as the reference.
     """
     started = time.perf_counter()
     chosen = []
@@ -25,6 +34,7 @@ def greedy_select(problem, by_ratio=True):
     current_cost = problem.config_cost(chosen)
     evaluations = 1
     remaining = set(range(problem.n_candidates))
+    delta = delta and hasattr(problem, "config_costs_delta")
 
     while remaining:
         if problem.max_indexes is not None and len(chosen) >= problem.max_indexes:
@@ -35,7 +45,10 @@ def greedy_select(problem, by_ratio=True):
             pos for pos in sorted(remaining)
             if used + problem.sizes[pos] <= problem.budget_pages
         ]
-        costs = problem.config_costs([chosen + [pos] for pos in feasible])
+        if delta:
+            costs = problem.config_costs_delta(chosen, feasible)
+        else:
+            costs = problem.config_costs([chosen + [pos] for pos in feasible])
         evaluations += len(feasible)
         best_pos = None
         best_score = 0.0

@@ -19,6 +19,8 @@ interaction analyzer) obtains configuration costs through a
   cache entries compiled to flat cost/slot arrays, whole workload ×
   configuration grids priced as numpy reductions (bit-identical to the
   scalar walks), plus CoPhy's BIP pricing surface in the same form;
+  both support delta (seminaïve) evaluation off a captured parent
+  state and argmin-witness extraction for usage-aware batches;
 * :mod:`repro.evaluation.wire` — the versioned, JSON-compatible wire
   format for signatures, cache entries reduced to plan terms, and
   tenant/service snapshots (what makes the backplane portable);
@@ -30,8 +32,10 @@ interaction analyzer) obtains configuration costs through a
 
 from repro.evaluation.evaluator import BatchEvaluation, WorkloadEvaluator
 from repro.evaluation.kernel import (
+    BipDeltaState,
     BipKernel,
     StatementKernel,
+    WorkloadDeltaState,
     WorkloadKernel,
     compile_statement,
 )
@@ -43,8 +47,10 @@ from repro.evaluation.signature import query_signature, statement_key
 __all__ = [
     "BatchEvaluation",
     "WorkloadEvaluator",
+    "BipDeltaState",
     "BipKernel",
     "StatementKernel",
+    "WorkloadDeltaState",
     "WorkloadKernel",
     "compile_statement",
     "InumCachePool",

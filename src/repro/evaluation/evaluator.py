@@ -133,6 +133,10 @@ class WorkloadEvaluator(InumCostModel):
         # _slot_costs so eviction drops one bucket, not a dict rebuild.
         self._stmt_costs = {}
         self._compiled = OrderedDict()  # workload key -> _CompiledWorkload
+        # signature -> set of _compiled keys referencing it, so _forget
+        # drops dependents without scanning the memo.  Guarded by
+        # self._lock together with _compiled itself.
+        self._compiled_by_sig = {}
         # Configuration -> CostService, LRU-bounded (each service holds a
         # full catalog clone); the empty-config base service is pinned.
         self._exact_services = OrderedDict()
@@ -169,17 +173,34 @@ class WorkloadEvaluator(InumCostModel):
         """Drop memo entries derived from an evicted cache, so a bounded
         pool bounds the memos too (not just the resident plan caches).
 
-        O(1) per eviction: both memos are sharded by owning query, so one
-        ``pop`` drops the whole bucket.  A parallel worker holding a
-        popped bucket merely writes lost (benign) entries into it.
+        O(1) per eviction: the slot/statement memos are sharded by
+        owning query (one ``pop`` drops the whole bucket — a parallel
+        worker holding a popped bucket merely writes lost, benign,
+        entries into it), and compiled workloads are indexed by
+        contained signature, so dependents are popped directly instead
+        of scanning the memo.  Dropping a compiled workload also drops
+        its fused kernel and therefore every delta state captured on it.
+
+        Called with the pool lock held; the evaluator lock nests inside
+        it (pool → evaluator is the one sanctioned order).
         """
         self._slot_costs.pop(cache.bound_query.sql, None)
+        self._slot_choices.pop(cache.bound_query.sql, None)
         self._stmt_costs.pop(signature, None)
-        for key in [
-            k for k, v in list(self._compiled.items())
-            if signature in v.signatures
-        ]:
-            self._compiled.pop(key, None)
+        with self._lock:
+            for key in self._compiled_by_sig.pop(signature, ()):
+                compiled = self._compiled.pop(key, None)
+                if compiled is not None:
+                    self._unindex(key, compiled)
+
+    def _unindex(self, key, compiled):
+        """Remove *key* from the signature index (callers hold the lock)."""
+        for sig in compiled.signatures:
+            bucket = self._compiled_by_sig.get(sig)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._compiled_by_sig[sig]
 
     def clear_caches(self):
         """Empty the pool, every memo derived from it, and the exact
@@ -187,11 +208,17 @@ class WorkloadEvaluator(InumCostModel):
         stroke — the memory-reclaim hook for long-lived evaluators.  The
         pinned base service survives, so sessions holding it stay valid.
         """
+        # Pool first, and *outside* our lock: clear() broadcasts drops to
+        # _forget, which takes our lock while the pool lock is held —
+        # holding ours across the call would invert the pool → evaluator
+        # lock order every eviction establishes.
+        self.pool.clear()
         with self._lock:
-            self.pool.clear()
             self._slot_costs.clear()
+            self._slot_choices.clear()
             self._stmt_costs.clear()
             self._compiled.clear()
+            self._compiled_by_sig.clear()
             # Statement-level memos too: signature tuples and bound ASTs
             # accumulate per distinct SQL text, not per resident cache.
             self._signatures.clear()
@@ -312,23 +339,31 @@ class WorkloadEvaluator(InumCostModel):
             "kernel" if kernel else "scalar",
             tuple((bq.sql, w) for bq, w in pairs),
         )
-        compiled = self._compiled.get(key)
-        if compiled is not None:
-            try:
+        with self._lock:
+            compiled = self._compiled.get(key)
+            if compiled is not None:
                 self._compiled.move_to_end(key)
-            except KeyError:
-                pass  # concurrently pruned by _forget; object still valid
-            return compiled
+                return compiled
+        # Build outside the lock (compilation may issue optimizer calls
+        # through the pool); concurrent builders of the same workload
+        # each produce an equivalent object and the last insert wins.
         if kernel:
             compiled = self._compile_kernel_fresh(pairs)
         else:
             compiled = self._compile_fresh(pairs)
-        self._compiled[key] = compiled
-        while len(self._compiled) > _MAX_COMPILED:
-            try:
-                self._compiled.popitem(last=False)
-            except KeyError:
-                break  # concurrently emptied
+        with self._lock:
+            # Memoize only while every underlying cache is still
+            # resident: an entry evicted mid-build must not resurrect a
+            # compiled workload _forget already swept (the object itself
+            # stays valid for this call — eviction is a memory policy,
+            # not invalidation).
+            if all(sig in self.pool for sig in compiled.signatures):
+                self._compiled[key] = compiled
+                for sig in compiled.signatures:
+                    self._compiled_by_sig.setdefault(sig, set()).add(key)
+                while len(self._compiled) > _MAX_COMPILED:
+                    old_key, old = self._compiled.popitem(last=False)
+                    self._unindex(old_key, old)
         return compiled
 
     def _compile_fresh(self, pairs):
@@ -427,17 +462,33 @@ class WorkloadEvaluator(InumCostModel):
         return self.evaluate_configurations(workload, configurations,
                                             kernel=True)
 
-    def _evaluate_kernel(self, compiled, configurations):
-        """The kernel evaluate phase: views and per-table design
-        signatures once per configuration, then pure array arithmetic
-        (plus the scalar write path — writes are few and analytic)."""
+    def _kernel_views(self, compiled, configurations):
+        """Per-configuration design views and per-table signatures for
+        the fused kernel's tables."""
         views = [_DesignView(self.catalog, c) for c in configurations]
-        fused = compiled.kernel
         table_sigs = [
-            {name: view.design_signature(name) for name in fused.tables}
+            {
+                name: view.design_signature(name)
+                for name in compiled.kernel.tables
+            }
             for view in views
         ]
-        reads = fused.evaluate_many(views, table_sigs, self.slot_cost)
+        return views, table_sigs
+
+    def _kernel_state(self, compiled, parent):
+        """The parent configuration's captured (memoized) delta state."""
+        parent_view = _DesignView(self.catalog, parent)
+        parent_sigs = {
+            name: parent_view.design_signature(name)
+            for name in compiled.kernel.tables
+        }
+        return compiled.kernel.delta_state(
+            parent_view, parent_sigs, self.slot_cost
+        )
+
+    def _assemble_batch(self, compiled, configurations, views, reads):
+        """Fold the kernel's read grid plus scalar write costs into a
+        :class:`BatchEvaluation` (shared by the full and delta paths)."""
         n_configs = len(views)
         out = np.empty((n_configs, len(compiled.positions)), dtype=np.float64)
         for s, (weight, __, write, read) in enumerate(compiled.positions):
@@ -458,6 +509,38 @@ class WorkloadEvaluator(InumCostModel):
             weights=[weight for weight, __, __, __ in compiled.positions],
             matrix=matrix,
         )
+
+    def _evaluate_kernel(self, compiled, configurations):
+        """The kernel evaluate phase: views and per-table design
+        signatures once per configuration, then pure array arithmetic
+        (plus the scalar write path — writes are few and analytic)."""
+        views, table_sigs = self._kernel_views(compiled, configurations)
+        reads = compiled.kernel.evaluate_many(
+            views, table_sigs, self.slot_cost
+        )
+        return self._assemble_batch(compiled, configurations, views, reads)
+
+    def evaluate_deltas(self, workload, parent, configurations):
+        """Price *configurations* as single-design deltas off *parent*.
+
+        The seminaïve seam greedy rounds, COLT epoch scoring, and IBG
+        level builds route through: the parent's resolved grid state is
+        captured once (and memoized on the compiled kernel, dying with
+        it on pool eviction), and each child re-resolves only slots on
+        tables whose design differs from the parent's — O(delta) per
+        child instead of O(grid).  Results are bit-identical to
+        :meth:`evaluate_many` on the same arguments, which the
+        equivalence suite pins exactly.
+        """
+        compiled = self._compile(workload, kernel=True)
+        configurations = [c or Configuration.empty() for c in configurations]
+        parent = parent or Configuration.empty()
+        state = self._kernel_state(compiled, parent)
+        views, table_sigs = self._kernel_views(compiled, configurations)
+        reads = compiled.kernel.evaluate_deltas(
+            state, views, table_sigs, self.slot_cost
+        )
+        return self._assemble_batch(compiled, configurations, views, reads)
 
     def evaluate_configurations(self, workload, configurations, parallel=None,
                                 max_workers=None, kernel=None):
@@ -563,19 +646,84 @@ class WorkloadEvaluator(InumCostModel):
             workload, configurations, parallel=parallel
         ).totals
 
-    def workload_cost_with_usage_batch(self, workload, configurations):
+    def workload_cost_with_usage_batch(self, workload, configurations,
+                                       parent=None, vectorized=None):
         """Usage-aware evaluation of a batch of configurations.
 
         This is the seam level-wise IBG builds price their frontiers
-        through.  It currently evaluates configurations serially (usage
-        extraction re-derives per-slot winners, which the slot memo does
-        not capture); the batch signature exists so vectorizing it later
-        does not require touching the IBG/doi callers.
+        through.  By default it runs as **one vectorized pass** on the
+        columnar kernel's argmin-witness mode: costs come from the same
+        reductions as :meth:`evaluate_many`, and each statement's used
+        set is the winning plan's winning-access indexes (payload
+        columns memoized per (table, design) exactly like cost columns)
+        intersected with the configuration — bit-identical to the
+        serial :meth:`workload_cost_with_usage` walk, which
+        ``vectorized=False`` keeps available as the pinned scalar
+        reference.  Passing *parent* additionally prices the batch as
+        deltas off that configuration (untouched statements inherit
+        both minimum and witness from the captured parent state).
         """
-        return [
-            self.workload_cost_with_usage(workload, config)
-            for config in configurations
-        ]
+        if vectorized is None:
+            vectorized = self.use_kernel
+        if not vectorized:
+            return [
+                self.workload_cost_with_usage(workload, config)
+                for config in configurations
+            ]
+        compiled = self._compile(workload, kernel=True)
+        configurations = [c or Configuration.empty() for c in configurations]
+        views, table_sigs = self._kernel_views(compiled, configurations)
+        fused = compiled.kernel
+        if parent is not None:
+            state = self._kernel_state(compiled, parent)
+            reads, witnesses = fused.evaluate_deltas_with_usage(
+                state, views, table_sigs, self.slot_cost, self.slot_choice
+            )
+        else:
+            reads, witnesses = fused.evaluate_many_with_usage(
+                views, table_sigs, self.slot_cost, self.slot_choice
+            )
+        results = []
+        for c, config in enumerate(configurations):
+            # Same accumulation the serial walk runs: weighted costs in
+            # workload order onto 0.0, used sets unioned per statement.
+            total = 0.0
+            used = set()
+            for weight, __, write, read in compiled.positions:
+                if write is None:
+                    cost = float(reads[read][c])
+                    stmt_used = frozenset(
+                        index for index in witnesses[read][c]
+                        if index in config.indexes
+                    )
+                else:
+                    cost, stmt_used = self._write_usage(
+                        write, views[c], config
+                    )
+                total += weight * cost
+                used |= stmt_used
+            results.append((total, frozenset(used)))
+        with self._lock:  # exact even when tenant threads batch at once
+            self.evaluations += len(compiled.positions) * len(configurations)
+        return results
+
+    def _write_usage(self, bound_write, view, config):
+        """Cost and used-index set of one write statement — the same
+        expressions :meth:`~repro.inum.cache.InumCostModel.cost_with_usage`
+        runs on its write branch (maintained indexes plus the locate
+        query's own usage)."""
+        from repro.optimizer.writecost import locate_query
+
+        cost = self._write_cost(bound_write, view, config)
+        used = frozenset(
+            ix for ix in config.indexes if bound_write.touches_index(ix)
+        )
+        if bound_write.kind in ("update", "delete"):
+            __, locate_used = self.cost_with_usage(
+                locate_query(bound_write), config
+            )
+            used |= locate_used
+        return cost, used
 
     # ------------------------------------------------------------------
     # The exact-optimizer side of the backplane (what-if sessions).
@@ -621,6 +769,10 @@ class WorkloadEvaluator(InumCostModel):
 
     @property
     def exact_optimizer_calls(self):
-        base = self._exact_services.get(Configuration.empty())
+        # Locked: every exact_service lookup mutates the LRU
+        # (move_to_end/evict) from tenant threads, and an unlocked get
+        # races the dict reshuffle.
+        with self._lock:
+            base = self._exact_services.get(Configuration.empty())
         return base.optimizer_calls if base is not None else 0
 

@@ -66,7 +66,7 @@ class InteractionAnalyzer:
         context = frozenset(context) - {index}
         return self.cost(context) - self.cost(context | {index})
 
-    def prefetch(self, subsets):
+    def prefetch(self, subsets, parent=None):
         """Batch-price index subsets into the cost cache.
 
         When the cost model is a :class:`~repro.evaluation.WorkloadEvaluator`
@@ -76,6 +76,12 @@ class InteractionAnalyzer:
         lazily as before.  Either way the numbers are identical (the
         equivalence suite pins this), so prefetching is purely a
         throughput lever.
+
+        With *parent* (an index set the batch's subsets are small edits
+        of) and a delta-capable evaluator, the batch prices through the
+        seminaïve seam
+        (:meth:`~repro.evaluation.WorkloadEvaluator.evaluate_deltas`)
+        instead — same numbers, captured-parent state reused.
         """
         evaluate = getattr(self.inum, "evaluate_many", None)
         if evaluate is None:
@@ -89,9 +95,18 @@ class InteractionAnalyzer:
         ]
         if not missing:
             return
-        totals = evaluate(
-            self.workload, [Configuration(indexes=key) for key in missing]
-        ).totals
+        deltas = (
+            getattr(self.inum, "evaluate_deltas", None)
+            if parent is not None else None
+        )
+        configs = [Configuration(indexes=key) for key in missing]
+        if deltas is not None:
+            totals = deltas(
+                self.workload, Configuration(indexes=frozenset(parent)),
+                configs,
+            ).totals
+        else:
+            totals = evaluate(self.workload, configs).totals
         for key, total in zip(missing, totals):
             self._cost_cache[key] = total
 
@@ -111,9 +126,20 @@ class InteractionAnalyzer:
             oracle_many = None
             if hasattr(self.inum, "workload_cost_with_usage_batch"):
                 def oracle_many(subsets):
+                    configs = [
+                        Configuration(indexes=frozenset(s)) for s in subsets
+                    ]
+                    if hasattr(self.inum, "evaluate_deltas"):
+                        # IBG frontiers are root subsets minus a few used
+                        # indexes: price each level as deltas off the
+                        # root's captured state (bit-identical, and the
+                        # witnesses of untouched statements are reused).
+                        return self.inum.workload_cost_with_usage_batch(
+                            self.workload, configs,
+                            parent=Configuration(indexes=key),
+                        )
                     return self.inum.workload_cost_with_usage_batch(
-                        self.workload,
-                        [Configuration(indexes=frozenset(s)) for s in subsets],
+                        self.workload, configs
                     )
 
             graph = IndexBenefitGraph.build(oracle, key, oracle_many=oracle_many)
@@ -163,8 +189,11 @@ class InteractionAnalyzer:
         """The Figure-2 graph: one vertex per index, edges weighted by doi."""
         candidate_set = sorted(set(candidate_set), key=lambda i: i.name)
         graph = nx.Graph()
+        # Singles are one-index edits of the empty design: delta-priced
+        # off the empty parent when the evaluator supports it.
         self.prefetch(
-            [frozenset()] + [frozenset((ix,)) for ix in candidate_set]
+            [frozenset()] + [frozenset((ix,)) for ix in candidate_set],
+            parent=frozenset(),
         )
         for ix in candidate_set:
             graph.add_node(ix.name, index=ix, benefit=self.benefit(ix, ()))

@@ -160,6 +160,9 @@ class InumCostModel:
         # sql -> {(slot, per-table design sig) -> cost}; sharded by owning
         # query so evicting one cache drops its memo bucket in O(1).
         self._slot_costs = {}
+        # Same shape for winning-access choices (the witness memo the
+        # vectorized usage path prices through).
+        self._slot_choices = {}
         self.evaluations = 0
 
     # ------------------------------------------------------------------
@@ -243,6 +246,26 @@ class InumCostModel:
         key = (slot, design_signature)
         if key not in bucket:
             bucket[key] = _access_cost(slot, bq, view, self.settings)
+        return bucket[key]
+
+    def slot_choice(self, bq, slot, view, design_signature=None):
+        """Memoized winning access of *slot* under *view* — the witness
+        twin of :meth:`slot_cost`: ``(cost, winner index tuple)``, or
+        ``None`` for an infeasible slot.  Keyed and sharded exactly like
+        the cost memo; it calls the same pure :func:`_access_cost` the
+        serial usage walk calls, so memoized witnesses cannot drift from
+        the reference.
+        """
+        if design_signature is None:
+            design_signature = view.design_signature(slot.table_name)
+        bucket = self._slot_choices.get(bq.sql)
+        if bucket is None:
+            bucket = self._slot_choices.setdefault(bq.sql, {})
+        key = (slot, design_signature)
+        if key not in bucket:
+            bucket[key] = _access_cost(
+                slot, bq, view, self.settings, want_choice=True
+            )
         return bucket[key]
 
     def _evaluate(self, cache, view):
@@ -503,7 +526,13 @@ class _DesignView:
         self._base = base
         self._config = config
         self._by_table = {}
-        for ix in config.indexes:
+        # Canonical order, not frozenset iteration order: path
+        # enumeration order decides cost ties, so equal designs must
+        # offer their indexes identically regardless of how (or in
+        # which process) the configuration's frozenset was built.
+        for ix in sorted(
+            config.indexes, key=lambda i: (i.name, i.columns, i.include)
+        ):
             self._by_table.setdefault(ix.table_name, []).append(ix)
         self._layouts = {l.table_name: l for l in config.layouts}
         self._horizontals = {h.table_name: h for h in config.horizontals}
