@@ -1,0 +1,279 @@
+"""CL-OBS — the telemetry backplane is effectively free, and exact.
+
+PR 7 threads a metrics registry and span tracer through every layer of
+the designer (pool builds, kernel evaluation, scheduler dispatch,
+tenant ingest, BIP solves).  The claim that justifies always-on
+telemetry is twofold:
+
+* **overhead**: instrumented steady-state kernel evaluation and fleet
+  ingest stay within a few percent of the uninstrumented baseline
+  (``obs.disabled()`` swaps the registry and tracer for shared no-op
+  twins — the same code path minus the recording);
+* **exactness**: the counters a Prometheus scrape reports are not a
+  *second* measurement that can drift — pool families are set from the
+  same lock-exact :class:`~repro.evaluation.pool.PoolStats` snapshots
+  ``status()`` prints, and scheduler/tenant counters move with the
+  dispatch itself — so the scraped text matches the in-process
+  accounting to the unit.
+
+Method: the kernel sweep reuses CL-KERNEL's shape (50 SDSS queries x
+64 configurations, one warmed evaluator, best-of-N steady-state
+sweeps); fleet ingest stands up a fresh two-tenant service per sample
+and times the scheduled run only (warm-up excluded — it is identical
+work in both modes).  Results must be bit-identical across modes.
+"""
+
+import gc
+import os
+import random
+import re
+import time
+
+from repro import obs
+from repro.cophy import candidate_indexes
+from repro.evaluation import WorkloadEvaluator
+from repro.runtime import Scheduler
+from repro.service import TuningService
+from repro.whatif import Configuration
+from repro.workloads import sdss_catalog, sdss_workload
+from repro.workloads.drift import default_phases, drifting_stream
+
+from conftest import print_table
+
+N_QUERIES = 50
+N_CONFIGS = 128
+
+# Quiet-hardware budget; CI smoke jobs on shared runners relax it (they
+# check exactness and bit-identical results, not the timing margin).
+OBS_OVERHEAD_MAX_PCT = float(os.environ.get("OBS_OVERHEAD_MAX_PCT", "3.0"))
+
+
+def make_sweep(seed=5):
+    catalog = sdss_catalog(scale=0.1)
+    workload = list(sdss_workload(n_queries=N_QUERIES, seed=11))
+    candidates = candidate_indexes(catalog, workload, max_candidates=16)
+    rng = random.Random(seed)
+    configs = [
+        Configuration(
+            indexes=frozenset(rng.sample(candidates, rng.randint(0, 6)))
+        )
+        for __ in range(N_CONFIGS)
+    ]
+    return catalog, workload, configs
+
+
+def timed(fn, repeats=7):
+    # Best-of-N: one noisy sample must not decide a timing claim.
+    best = float("inf")
+    for __ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+def test_claim_obs_kernel_overhead(benchmark):
+    catalog, workload, configs = make_sweep()
+    evaluator = WorkloadEvaluator(catalog)
+    evaluator.warm_up(workload)
+    evaluator.evaluate_many(workload, configs)  # populate derived state
+
+    # Interleaved best-of-N (see the fleet test): drift must not be
+    # misread as instrumentation cost.  Many short alternating samples —
+    # min over 200 sweeps per mode converges on each mode's true floor
+    # even when background load is bursty, and adjacent samples see the
+    # same machine regime.  GC is paused across the sampling loop (the
+    # same thing ``timeit`` does) so collection pauses triggered by the
+    # sweep's own allocations don't land on one mode's floor.
+    def measure():
+        t_off = t_on = float("inf")
+        off = on = None
+        gc.collect()
+        gc.disable()
+        try:
+            for __ in range(200):
+                with obs.disabled():
+                    sample, off = timed(
+                        lambda: evaluator.evaluate_many(workload, configs),
+                        repeats=1,
+                    )
+                t_off = min(t_off, sample)
+                sample, on = timed(
+                    lambda: evaluator.evaluate_many(workload, configs),
+                    repeats=1,
+                )
+                t_on = min(t_on, sample)
+        finally:
+            gc.enable()
+        return t_off, t_on, off, on
+
+    # Noise can only inflate the estimate above the true floor — one
+    # clean measurement under the bound settles the claim, so retry a
+    # couple of times before calling a miss real.
+    for __ in range(3):
+        t_off, t_on, off, on = measure()
+        assert on.matrix == off.matrix  # telemetry never changes a cost
+        overhead_pct = 100.0 * (t_on - t_off) / t_off
+        if overhead_pct <= OBS_OVERHEAD_MAX_PCT:
+            break
+    print_table(
+        "CL-OBS: kernel sweep overhead (%d queries x %d configurations)"
+        % (N_QUERIES, N_CONFIGS),
+        ("mode", "milliseconds", "overhead %"),
+        [
+            ("obs disabled", t_off * 1e3, 0.0),
+            ("obs enabled", t_on * 1e3, overhead_pct),
+        ],
+    )
+    assert overhead_pct <= OBS_OVERHEAD_MAX_PCT, (
+        "instrumented kernel evaluation must stay within %.1f%% of the "
+        "uninstrumented baseline (got %.2f%%)"
+        % (OBS_OVERHEAD_MAX_PCT, overhead_pct)
+    )
+
+    benchmark(evaluator.evaluate_many, workload, configs)
+
+
+def _run_fleet(catalog, sqls):
+    """One fresh two-tenant service over *catalog*: warm, then time the
+    scheduled ingest alone.  Returns (seconds, final status)."""
+    service = TuningService(shards=2)
+    service.add_backplane("sdss", catalog)
+    for i in range(2):
+        service.add_tenant("tenant-%d" % i, "sdss", recommend_every=0)
+    service.warm_up("sdss", sqls)
+    streams = {
+        "tenant-%d" % i: drifting_stream(default_phases(6), seed=3 + i)
+        for i in range(2)
+    }
+    t0 = time.perf_counter()
+    status = service.run_scheduled(streams)
+    return time.perf_counter() - t0, status
+
+
+def test_claim_obs_fleet_overhead():
+    catalog = sdss_catalog(scale=0.05)
+    sqls = [sql for __, sql in drifting_stream(default_phases(6), seed=3)]
+    sqls += [sql for __, sql in drifting_stream(default_phases(6), seed=4)]
+
+    # Interleave the modes sample-for-sample so machine drift (thermal
+    # throttle, background load) lands on both sides equally; compare
+    # best-of-N, which is the steady-state each mode can reach.  As in
+    # the kernel test, noise only ever inflates the estimate, so a miss
+    # earns a remeasure before it counts.
+    for __ in range(3):
+        off_samples, on_samples = [], []
+        for ___ in range(4):
+            with obs.disabled():
+                off_samples.append(_run_fleet(catalog, sqls))
+            on_samples.append(_run_fleet(catalog, sqls))
+        t_off, status_off = min(off_samples, key=lambda s: s[0])
+        t_on, status_on = min(on_samples, key=lambda s: s[0])
+        if 100.0 * (t_on - t_off) / t_off <= OBS_OVERHEAD_MAX_PCT:
+            break
+
+    # Identical ingest either way: same queries, epochs, configurations.
+    for name in status_on["tenants"]:
+        on_t, off_t = status_on["tenants"][name], status_off["tenants"][name]
+        for key in ("queries", "epochs", "configuration", "drift_events"):
+            assert on_t[key] == off_t[key]
+
+    overhead_pct = 100.0 * (t_on - t_off) / t_off
+    print_table(
+        "CL-OBS: fleet ingest overhead (2 tenants, scheduled)",
+        ("mode", "milliseconds", "overhead %"),
+        [
+            ("obs disabled", t_off * 1e3, 0.0),
+            ("obs enabled", t_on * 1e3, overhead_pct),
+        ],
+    )
+    assert overhead_pct <= OBS_OVERHEAD_MAX_PCT, (
+        "instrumented fleet ingest must stay within %.1f%% of the "
+        "uninstrumented baseline (got %.2f%%)"
+        % (OBS_OVERHEAD_MAX_PCT, overhead_pct)
+    )
+
+
+def _parse_prometheus(text):
+    """{(family, frozenset(label pairs)): value} for every sample line."""
+    out = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        m = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$",
+                     line)
+        assert m, "unparseable exposition line: %r" % (line,)
+        name, raw_labels, value = m.groups()
+        labels = frozenset(
+            (key, val[1:-1])
+            for key, val in (
+                pair.split("=", 1) for pair in
+                re.findall(r'[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"',
+                           raw_labels or "")
+            )
+        )
+        out[(name, labels)] = float(value)
+    return out
+
+
+def test_claim_obs_scrape_exactness():
+    """A scrape of the rendered exposition text reproduces the pool and
+    scheduler accounting to the unit — counters are mirrors of the same
+    state, not parallel bookkeeping."""
+    obs.reset()  # fresh registry: this run's counts and nothing else
+    catalog = sdss_catalog(scale=0.05)
+    service = TuningService(shards=2)
+    service.add_backplane("sdss", catalog)
+    sessions = {
+        name: service.add_tenant(name, "sdss", recommend_every=0)
+        for name in ("alpha", "beta")
+    }
+    scheduler = Scheduler()
+    for i, name in enumerate(sessions):
+        scheduler.add(name, sessions[name],
+                      drifting_stream(default_phases(5), seed=21 + i))
+    stats = scheduler.run()
+
+    parsed = _parse_prometheus(obs.metrics().render_prometheus())
+
+    plane = service.backplane("sdss")
+    pool_stats = plane.pool.stats
+    label = frozenset([("backplane", "sdss")])
+    assert parsed[("repro_pool_hits_total", label)] == pool_stats.hits
+    assert parsed[("repro_pool_misses_total", label)] == pool_stats.misses
+    assert parsed[("repro_pool_evictions_total", label)] \
+        == pool_stats.evictions
+    assert parsed[("repro_pool_optimizer_calls_total", label)] \
+        == pool_stats.optimizer_calls
+    assert parsed[("repro_pool_entries", label)] == len(plane.pool)
+
+    steps_scraped = sum(
+        value for (name, __), value in parsed.items()
+        if name == "repro_scheduler_steps_total"
+    )
+    assert steps_scraped == stats["steps"]
+    assert parsed[("repro_scheduler_events_started", frozenset())] \
+        == stats["events"]
+
+    for name, session in sessions.items():
+        tenant = frozenset([("tenant", name)])
+        assert parsed[("repro_tenant_queries_total", tenant)] \
+            == session.queries
+        assert parsed[("repro_tenant_events_total", tenant)] \
+            == session.queries
+
+    print_table(
+        "CL-OBS: scrape exactness",
+        ("surface", "scraped", "in-process", "identical"),
+        [
+            ("pool hits", parsed[("repro_pool_hits_total", label)],
+             pool_stats.hits, True),
+            ("pool misses", parsed[("repro_pool_misses_total", label)],
+             pool_stats.misses, True),
+            ("scheduler steps", steps_scraped, stats["steps"], True),
+            ("tenant queries",
+             sum(parsed[("repro_tenant_queries_total",
+                         frozenset([("tenant", n)]))] for n in sessions),
+             sum(s.queries for s in sessions.values()), True),
+        ],
+    )

@@ -8,12 +8,18 @@ workload are the common substrate, built once.
 machine-readable JSON: one ``BENCH_<slug>.json`` per table when PATH is
 a directory, or a single combined file otherwise.  The JSON carries the
 same numbers as the printed tables — it is a serialization, not a
-second measurement.
+second measurement — plus a ``meta`` block (timestamp, git SHA, CPU
+count, python version) so an archived artifact identifies the run that
+produced it.  ``--json-timestamp`` lets a harness stamp its own ISO
+timestamp instead of the collection wall clock.
 """
 
 import json
 import os
+import platform
 import re
+import subprocess
+from datetime import datetime, timezone
 
 import pytest
 
@@ -78,16 +84,46 @@ def pytest_addoption(parser):
         help="write printed bench tables as JSON: one BENCH_<slug>.json "
              "per table if PATH is a directory, else one combined file",
     )
+    parser.addoption(
+        "--json-timestamp",
+        action="store",
+        default=None,
+        metavar="ISO8601",
+        help="run timestamp recorded in the JSON meta block (default: "
+             "the UTC wall clock at write time)",
+    )
 
 
 def _slug(title):
     return re.sub(r"[^A-Za-z0-9]+", "_", title).strip("_")
 
 
+def _git_sha():
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10,
+        ).stdout.strip() or None
+    except OSError:
+        return None
+
+
+def _run_meta(config):
+    return {
+        "timestamp": config.getoption("--json-timestamp")
+        or datetime.now(timezone.utc).isoformat(),
+        "git_sha": _git_sha(),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+    }
+
+
 def pytest_sessionfinish(session):
     path = session.config.getoption("--json")
     if not path or not _tables:
         return
+    meta = _run_meta(session.config)
     payload = [
         {**table, "rows": [
             [cell if isinstance(cell, (int, float, str, bool)) or cell is None
@@ -102,7 +138,7 @@ def pytest_sessionfinish(session):
                 path, "BENCH_%s.json" % _slug(table["title"])
             )
             with open(target, "w") as handle:
-                json.dump(table, handle, indent=2)
+                json.dump({**table, "meta": meta}, handle, indent=2)
     else:
         with open(path, "w") as handle:
-            json.dump({"tables": payload}, handle, indent=2)
+            json.dump({"meta": meta, "tables": payload}, handle, indent=2)

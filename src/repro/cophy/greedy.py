@@ -10,7 +10,7 @@ differences — the comparison the CL-ILP experiment reports.
 
 import time
 
-from repro.cophy.solvers import SolveResult
+from repro.cophy.solvers import SolveResult, observed_solve
 
 
 def greedy_select(problem, by_ratio=True, delta=True):
@@ -67,11 +67,11 @@ def greedy_select(problem, by_ratio=True, delta=True):
         current_cost = best_cost
         remaining.discard(best_pos)
 
-    return SolveResult(
+    return observed_solve(SolveResult(
         chosen_positions=tuple(chosen),
         objective=current_cost,
         status="heuristic",
         solver="greedy-%s" % ("ratio" if by_ratio else "benefit"),
         solve_seconds=time.perf_counter() - started,
         nodes_explored=evaluations,
-    )
+    ))

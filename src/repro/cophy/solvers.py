@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy import optimize, sparse
 
+from repro import obs
+
 
 @dataclass
 class SolveResult:
@@ -132,36 +134,57 @@ def _chosen_from_y(y_values, threshold=0.5):
     return tuple(pos for pos, v in enumerate(y_values) if v > threshold)
 
 
+def observed_solve(result):
+    """Record one finished solve into the telemetry backplane and pass
+    the result through — every backend (this module's three and the
+    greedy heuristic) reports the same two families, labeled by the
+    backend name the result already carries."""
+    registry = obs.metrics()
+    registry.counter(
+        "repro_bip_solves_total",
+        "Physical-design solves by solver backend",
+        labelnames=("solver",),
+    ).labels(solver=result.solver).inc()
+    registry.histogram(
+        "repro_bip_solve_seconds",
+        "Physical-design solve latency",
+        labelnames=("solver",),
+    ).labels(solver=result.solver).observe(result.solve_seconds)
+    return result
+
+
 def solve_bip(problem, time_limit=60.0):
     """Exact solve with HiGHS (scipy.optimize.milp)."""
-    started = time.perf_counter()
-    mats = _assemble(problem)
-    n = len(mats.c)
-    constraints = [
-        optimize.LinearConstraint(mats.a_eq, mats.b_eq, mats.b_eq),
-        optimize.LinearConstraint(mats.a_ub, -np.inf, mats.b_ub),
-    ]
-    res = optimize.milp(
-        c=mats.c,
-        constraints=constraints,
-        integrality=np.ones(n),
-        bounds=optimize.Bounds(0.0, 1.0),
-        options={"time_limit": time_limit},
-    )
-    if res.x is None:
-        raise RuntimeError("MILP solver failed: %s" % (res.message,))
-    chosen = _chosen_from_y(res.x[: mats.n_y])
-    objective = problem.config_cost(chosen)
-    return SolveResult(
-        chosen_positions=chosen,
-        objective=objective,
-        lower_bound=float(res.fun) + problem.write_base_cost,
-        status="optimal" if res.success else str(res.status),
-        solver="milp-highs",
-        solve_seconds=time.perf_counter() - started,
-        n_variables=n,
-        n_constraints=mats.a_eq.shape[0] + mats.a_ub.shape[0],
-    )
+    with obs.tracer().span("cophy.solve", solver="milp-highs",
+                           candidates=problem.n_candidates):
+        started = time.perf_counter()
+        mats = _assemble(problem)
+        n = len(mats.c)
+        constraints = [
+            optimize.LinearConstraint(mats.a_eq, mats.b_eq, mats.b_eq),
+            optimize.LinearConstraint(mats.a_ub, -np.inf, mats.b_ub),
+        ]
+        res = optimize.milp(
+            c=mats.c,
+            constraints=constraints,
+            integrality=np.ones(n),
+            bounds=optimize.Bounds(0.0, 1.0),
+            options={"time_limit": time_limit},
+        )
+        if res.x is None:
+            raise RuntimeError("MILP solver failed: %s" % (res.message,))
+        chosen = _chosen_from_y(res.x[: mats.n_y])
+        objective = problem.config_cost(chosen)
+        return observed_solve(SolveResult(
+            chosen_positions=chosen,
+            objective=objective,
+            lower_bound=float(res.fun) + problem.write_base_cost,
+            status="optimal" if res.success else str(res.status),
+            solver="milp-highs",
+            solve_seconds=time.perf_counter() - started,
+            n_variables=n,
+            n_constraints=mats.a_eq.shape[0] + mats.a_ub.shape[0],
+        ))
 
 
 def _lp_relax(mats, fixed_zero=(), fixed_one=()):
@@ -203,7 +226,7 @@ def solve_lp_rounding(problem):
             chosen.append(pos)
             used += problem.sizes[pos]
     objective = problem.config_cost(chosen)
-    return SolveResult(
+    return observed_solve(SolveResult(
         chosen_positions=tuple(chosen),
         objective=objective,
         lower_bound=float(res.fun) + problem.write_base_cost,
@@ -212,7 +235,7 @@ def solve_lp_rounding(problem):
         solve_seconds=time.perf_counter() - started,
         n_variables=len(mats.c),
         n_constraints=mats.a_eq.shape[0] + mats.a_ub.shape[0],
-    )
+    ))
 
 
 def solve_branch_and_bound(problem, max_nodes=400):
@@ -265,7 +288,7 @@ def solve_branch_and_bound(problem, max_nodes=400):
     if not math.isfinite(best_obj):
         best_chosen = ()
         best_obj = problem.config_cost(())
-    return SolveResult(
+    return observed_solve(SolveResult(
         chosen_positions=best_chosen,
         objective=best_obj,
         lower_bound=root_bound,
@@ -275,4 +298,4 @@ def solve_branch_and_bound(problem, max_nodes=400):
         nodes_explored=nodes,
         n_variables=len(mats.c),
         n_constraints=mats.a_eq.shape[0] + mats.a_ub.shape[0],
-    )
+    ))

@@ -21,7 +21,9 @@ INUM cache builds (``--offload``).
 
 import argparse
 import itertools
+import json
 import sys
+import time
 
 from repro.catalog import Index
 from repro.colt import ColtSettings
@@ -149,6 +151,22 @@ def build_parser():
         help="offload INUM cache builds to N worker processes during "
         "scheduled ingest (0/1 = build inline; results are identical "
         "either way)",
+    )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="serve the telemetry backplane over HTTP on 127.0.0.1:PORT "
+        "(GET /metrics Prometheus text, /trace span JSON, /status "
+        "service snapshot; 0 binds an ephemeral port)",
+    )
+    serve.add_argument(
+        "--metrics-hold", type=float, default=0.0,
+        help="keep the metrics endpoint alive this many seconds after "
+        "the run completes (so scrapers can read the final state)",
+    )
+    serve.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="final status output: the terminal panel (text) or the "
+        "full status()+registry snapshot as JSON (for scripting)",
     )
 
     explain = sub.add_parser("explain", help="EXPLAIN one SQL statement")
@@ -289,6 +307,15 @@ def _dispatch(args, out):
         )
         service.add_backplane("sdss", sdss_catalog(scale=args.scale))
         service.add_backplane("tpch", tpch_catalog(scale=args.scale))
+        metrics_server = None
+        if args.metrics_port is not None:
+            from repro.obs import MetricsServer
+
+            metrics_server = MetricsServer(
+                port=args.metrics_port, status_fn=service.status
+            ).start()
+            print("metrics: %s/metrics" % metrics_server.url, file=out,
+                  flush=True)
         mixes = {
             "sdss": (default_phases, args.seed),
             "tpch": (tpch_phases, args.seed + 1),
@@ -365,7 +392,20 @@ def _dispatch(args, out):
         if args.state_dir:
             path = service.save_state(args.state_dir)
             print("state saved to %s" % path, file=out)
-        print(service.status_text(), file=out)
+        if args.format == "json":
+            # status() already merges the telemetry registry snapshot
+            # under its "obs" key — one JSON document for scripting.
+            print(json.dumps(service.status(), default=str), file=out,
+                  flush=True)
+        else:
+            print(service.status_text(), file=out, flush=True)
+        if metrics_server is not None:
+            if args.metrics_hold > 0:
+                # Keep the scrape surface up past the run so external
+                # scrapers (CI smoke, a curl in another terminal) can
+                # read the final counters.
+                time.sleep(args.metrics_hold)
+            metrics_server.stop()
         return 0
 
     if args.command == "explain":

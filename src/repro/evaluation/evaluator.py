@@ -34,12 +34,14 @@ which is what the equivalence test suite pins.
 
 import math
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.evaluation.pool import InumCachePool
 from repro.evaluation.signature import statement_key
 from repro.inum.cache import InumCostModel, _DesignView, build_cache
@@ -143,6 +145,11 @@ class WorkloadEvaluator(InumCostModel):
         # Guards the exact-service LRU and clear_caches; cache builds are
         # serialized per entry by the pool's own single-flight instead.
         self._lock = threading.RLock()
+        # (registry, {mode: bound metric handles}) — rebuilt whenever the
+        # active registry changes (obs.reset()/obs.disabled()), so the
+        # per-batch telemetry is three bound calls, not three family
+        # lookups.
+        self._obs_handles = (None, {})
 
     # ------------------------------------------------------------------
     # Pool-backed cache management.
@@ -279,19 +286,22 @@ class WorkloadEvaluator(InumCostModel):
         """
         before = self.precompute_calls
         targets = [bq for bq, __, __ in self.warm_targets(workload)]
-        if threads is not None and threads > 1 and len(targets) > 1:
-            with ThreadPoolExecutor(max_workers=threads) as executor:
-                # list() propagates the first worker exception, if any.
-                list(executor.map(self.cache_for, targets))
-        else:
+        with obs.tracer().span("evaluator.warm_up",
+                               statements=len(targets),
+                               threads=threads or 1):
+            if threads is not None and threads > 1 and len(targets) > 1:
+                with ThreadPoolExecutor(max_workers=threads) as executor:
+                    # list() propagates the first worker exception, if any.
+                    list(executor.map(self.cache_for, targets))
+            else:
+                for bq in targets:
+                    self.cache_for(bq)
+            # Prewarm the compiled columnar kernels too: warm-up's contract
+            # is "the first evaluate pays no build work", and the kernel is
+            # part of that derived state (compiled once per resident entry,
+            # owned by the pool, dropped with it on eviction).
             for bq in targets:
-                self.cache_for(bq)
-        # Prewarm the compiled columnar kernels too: warm-up's contract
-        # is "the first evaluate pays no build work", and the kernel is
-        # part of that derived state (compiled once per resident entry,
-        # owned by the pool, dropped with it on eviction).
-        for bq in targets:
-            self.pool.kernel_for(self.signature(bq))
+                self.pool.kernel_for(self.signature(bq))
         return self.precompute_calls - before
 
     @property
@@ -510,6 +520,42 @@ class WorkloadEvaluator(InumCostModel):
             matrix=matrix,
         )
 
+    def _observe_batch(self, mode, elapsed, statements, configurations):
+        """One batched evaluate call's telemetry: latency histogram plus
+        batch/cell counters, all labeled by pricing mode.  Bound handles
+        are cached per (registry, mode) so the steady-state cost is three
+        method calls; the cache keys on registry identity so a swap via
+        ``obs.reset()``/``obs.disabled()`` takes effect immediately."""
+        registry = obs.metrics()
+        cached_registry, by_mode = self._obs_handles
+        if cached_registry is not registry:
+            by_mode = {}
+            self._obs_handles = (registry, by_mode)
+        handles = by_mode.get(mode)
+        if handles is None:
+            handles = (
+                registry.counter(
+                    "repro_evaluate_batches_total",
+                    "Batched evaluate calls",
+                    labelnames=("mode",),
+                ).labels(mode=mode),
+                registry.counter(
+                    "repro_evaluate_cells_total",
+                    "Workload-cost cells priced by batched evaluation",
+                    labelnames=("mode",),
+                ).labels(mode=mode),
+                registry.histogram(
+                    "repro_evaluate_seconds",
+                    "Batched evaluate latency",
+                    labelnames=("mode",),
+                ).labels(mode=mode),
+            )
+            by_mode[mode] = handles
+        batches, cells, seconds = handles
+        batches.inc()
+        cells.inc(statements * configurations)
+        seconds.observe(elapsed)
+
     def _evaluate_kernel(self, compiled, configurations):
         """The kernel evaluate phase: views and per-table design
         signatures once per configuration, then pure array arithmetic
@@ -535,12 +581,19 @@ class WorkloadEvaluator(InumCostModel):
         compiled = self._compile(workload, kernel=True)
         configurations = [c or Configuration.empty() for c in configurations]
         parent = parent or Configuration.empty()
-        state = self._kernel_state(compiled, parent)
-        views, table_sigs = self._kernel_views(compiled, configurations)
-        reads = compiled.kernel.evaluate_deltas(
-            state, views, table_sigs, self.slot_cost
-        )
-        return self._assemble_batch(compiled, configurations, views, reads)
+        with obs.tracer().span("evaluate.deltas",
+                               configurations=len(configurations)):
+            t0 = time.perf_counter()
+            state = self._kernel_state(compiled, parent)
+            views, table_sigs = self._kernel_views(compiled, configurations)
+            reads = compiled.kernel.evaluate_deltas(
+                state, views, table_sigs, self.slot_cost
+            )
+            batch = self._assemble_batch(compiled, configurations, views,
+                                         reads)
+            self._observe_batch("delta", time.perf_counter() - t0,
+                                len(compiled.positions), len(configurations))
+            return batch
 
     def evaluate_configurations(self, workload, configurations, parallel=None,
                                 max_workers=None, kernel=None):
@@ -570,11 +623,28 @@ class WorkloadEvaluator(InumCostModel):
         if kernel is None:
             kernel = self.use_kernel
         configurations = [c or Configuration.empty() for c in configurations]
-        if kernel:
-            return self._evaluate_kernel(
-                self._compile(workload, kernel=True), configurations
-            )
-        compiled = self._compile(workload)
+        mode = "kernel" if kernel else "scalar"
+        with obs.tracer().span("evaluate.batch", engine=mode,
+                               configurations=len(configurations)):
+            t0 = time.perf_counter()
+            if kernel:
+                compiled = self._compile(workload, kernel=True)
+                batch = self._evaluate_kernel(compiled, configurations)
+                statements = len(compiled.positions)
+            else:
+                compiled = self._compile(workload)
+                batch = self._evaluate_scalar(compiled, configurations,
+                                              parallel, max_workers)
+                statements = len(compiled.statements)
+            self._observe_batch(mode, time.perf_counter() - t0,
+                                statements, len(configurations))
+            return batch
+
+    def _evaluate_scalar(self, compiled, configurations, parallel,
+                         max_workers):
+        """The scalar reference evaluate phase (``kernel=False``):
+        per-slot / per-statement dict memoization, optional thread
+        fan-out across statements — pinned bit-identical to the kernel."""
         views = [_DesignView(self.catalog, c) for c in configurations]
         table_sigs = [
             {name: view.design_signature(name) for name in compiled.tables}
@@ -672,6 +742,7 @@ class WorkloadEvaluator(InumCostModel):
             ]
         compiled = self._compile(workload, kernel=True)
         configurations = [c or Configuration.empty() for c in configurations]
+        t0 = time.perf_counter()
         views, table_sigs = self._kernel_views(compiled, configurations)
         fused = compiled.kernel
         if parent is not None:
@@ -705,6 +776,8 @@ class WorkloadEvaluator(InumCostModel):
             results.append((total, frozenset(used)))
         with self._lock:  # exact even when tenant threads batch at once
             self.evaluations += len(compiled.positions) * len(configurations)
+        self._observe_batch("usage", time.perf_counter() - t0,
+                            len(compiled.positions), len(configurations))
         return results
 
     def _write_usage(self, bound_write, view, config):

@@ -10,9 +10,12 @@ long-running multi-workload traffic (LRU eviction).
 """
 
 import threading
+import time
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field
+
+from repro import obs
 
 
 @dataclass
@@ -203,8 +206,21 @@ class InumCachePool:
             if kernel is None:
                 from repro.evaluation.kernel import compile_statement
 
-                kernel = compile_statement(cache)
+                with obs.tracer().span("kernel.compile",
+                                       plans=len(cache.plans)):
+                    t0 = time.perf_counter()
+                    kernel = compile_statement(cache)
+                    elapsed = time.perf_counter() - t0
                 self._kernels[signature] = kernel
+                registry = obs.metrics()
+                registry.counter(
+                    "repro_kernel_compiles_total",
+                    "Columnar statement kernels compiled",
+                ).inc()
+                registry.histogram(
+                    "repro_kernel_compile_seconds",
+                    "Kernel compilation latency",
+                ).observe(elapsed)
             return kernel
 
     @property
@@ -244,7 +260,13 @@ class InumCachePool:
                 raise flight.error
             return flight.cache
         try:
-            cache = builder()
+            with obs.tracer().span("pool.build"):
+                t0 = time.perf_counter()
+                cache = builder()
+                obs.metrics().histogram(
+                    "repro_pool_build_seconds",
+                    "INUM cache build latency (single-flight leaders only)",
+                ).observe(time.perf_counter() - t0)
             flight.cache = cache
             # Publish before retiring the flight: a prober arriving after
             # the flight is gone must find the entry resident.

@@ -34,6 +34,7 @@ unavailable or too expensive.
 import multiprocessing
 import os
 
+from repro import obs
 from repro.catalog.serialize import (
     catalog_from_dict,
     catalog_to_dict,
@@ -58,6 +59,9 @@ def _init_worker(catalog_payload, settings, pool_capacity):
     from repro.evaluation.evaluator import WorkloadEvaluator
     from repro.evaluation.pool import InumCachePool
 
+    # Fork inherits the parent's telemetry state; start this worker's
+    # accounting from zero so shipped deltas never double-count.
+    obs.reset()
     catalog = catalog_from_dict(catalog_payload)
     _WORKER_EVALUATOR = WorkloadEvaluator(
         catalog, settings, pool=InumCachePool(capacity=pool_capacity)
@@ -75,48 +79,62 @@ def _entries_for(signatures):
     return out
 
 
-def _warm_task(task):
-    """Build one query's INUM cache; return it as a wire entry.
+def _obs_shipment():
+    """This worker's telemetry movement since the last task, as wire
+    text — counters, histogram deltas, and finished spans."""
+    return wire.dumps(wire.obs_to_wire(obs.drain_deltas()))
 
-    ``task`` is ``(sql, locate)``: locate targets ship the originating
-    write statement (their own text is synthetic) and the worker
-    re-derives the locate query, mirroring ``wire.entry_from_wire``."""
+
+def _warm_task(task):
+    """Build one query's INUM cache; return it as a wire entry plus the
+    worker's telemetry shipment.
+
+    ``task`` is ``(sql, locate, ctx)``: locate targets ship the
+    originating write statement (their own text is synthetic) and the
+    worker re-derives the locate query, mirroring
+    ``wire.entry_from_wire``; ``ctx`` is the dispatching span's
+    ``(trace_id, span_id)``, so the worker's spans stitch into the
+    parent's trace."""
     from repro.optimizer.writecost import locate_query
 
-    sql, locate = task
+    sql, locate, ctx = task
     evaluator = _WORKER_EVALUATOR
-    bq = evaluator.bound(sql)
-    if locate:
-        bq = locate_query(bq)
-    cache = evaluator.cache_for(bq)
-    signature = evaluator.signature(bq)
-    return wire.dumps(wire.entry_to_wire(signature, cache))
+    with obs.tracer().span("worker.warm_up", remote_parent=ctx, locate=locate):
+        bq = evaluator.bound(sql)
+        if locate:
+            bq = locate_query(bq)
+        cache = evaluator.cache_for(bq)
+        signature = evaluator.signature(bq)
+    return wire.dumps(wire.entry_to_wire(signature, cache)), _obs_shipment()
 
 
 def _evaluate_task(task):
     """Price a chunk of statements against every configuration.
 
-    Returns ``(start, columns, entries)``: the chunk's offset in the
-    statement order, one cost column (cost under each configuration)
-    per statement, and the wire entries for every cache the chunk
-    built — so the parent's pool is warmed as a side effect, exactly
-    like the in-process path."""
-    start, sqls, config_payloads = task
+    Returns ``(start, columns, entries, obs_text)``: the chunk's offset
+    in the statement order, one cost column (cost under each
+    configuration) per statement, the wire entries for every cache the
+    chunk built — so the parent's pool is warmed as a side effect,
+    exactly like the in-process path — and the worker's telemetry
+    shipment."""
+    start, sqls, config_payloads, ctx = task
     evaluator = _WORKER_EVALUATOR
     configurations = [
         configuration_from_dict(payload) for payload in config_payloads
     ]
-    before = set(evaluator.pool.signatures())
-    batch = evaluator.evaluate_configurations(sqls, configurations)
-    built = [
-        signature for signature in evaluator.pool.signatures()
-        if signature not in before
-    ]
-    columns = [
-        [batch.matrix[c][s] for c in range(len(configurations))]
-        for s in range(len(sqls))
-    ]
-    return start, columns, _entries_for(built)
+    with obs.tracer().span("worker.evaluate", remote_parent=ctx,
+                           statements=len(sqls)):
+        before = set(evaluator.pool.signatures())
+        batch = evaluator.evaluate_configurations(sqls, configurations)
+        built = [
+            signature for signature in evaluator.pool.signatures()
+            if signature not in before
+        ]
+        columns = [
+            [batch.matrix[c][s] for c in range(len(configurations))]
+            for s in range(len(sqls))
+        ]
+    return start, columns, _entries_for(built), _obs_shipment()
 
 
 class ProcessPoolBackplane:
@@ -236,12 +254,18 @@ class ProcessPoolBackplane:
                 evaluator.pool.kernel_for(evaluator.signature(bq))
             return evaluator.precompute_calls - before
         pool = self._worker_pool()
-        tasks = [task for __, task in targets]
-        for text in pool.imap_unordered(_warm_task, tasks, chunksize=1):
-            # pool= installs the entry *and* rebuilds its columnar
-            # kernel from the shipped plan terms, so offloaded warm-up
-            # prewarms compiled kernels, not just raw caches.
-            wire.loads(text, evaluator.catalog, pool=evaluator.pool)
+        with obs.tracer().span("process.warm_up", targets=len(targets),
+                               processes=self.processes):
+            ctx = obs.tracer().current_context()
+            tasks = [(sql, locate, ctx) for __, (sql, locate) in targets]
+            for text, obs_text in pool.imap_unordered(
+                _warm_task, tasks, chunksize=1
+            ):
+                # pool= installs the entry *and* rebuilds its columnar
+                # kernel from the shipped plan terms, so offloaded warm-up
+                # prewarms compiled kernels, not just raw caches.
+                wire.loads(text, evaluator.catalog, pool=evaluator.pool)
+                obs.ingest_deltas(wire.loads(obs_text))
         return evaluator.precompute_calls - before
 
     # ------------------------------------------------------------------
@@ -271,23 +295,28 @@ class ProcessPoolBackplane:
             configuration_to_dict(config) for config in configurations
         ]
         chunk = max(1, (len(pairs) + self.processes - 1) // self.processes)
-        tasks = [
-            (
-                start,
-                [sql for sql, __ in pairs[start:start + chunk]],
-                config_payloads,
-            )
-            for start in range(0, len(pairs), chunk)
-        ]
         columns = [None] * len(pairs)
         pool = self._worker_pool()
-        for start, chunk_columns, entries in pool.imap_unordered(
-            _evaluate_task, tasks
-        ):
-            for offset, column in enumerate(chunk_columns):
-                columns[start + offset] = column
-            for text in entries:
-                wire.loads(text, evaluator.catalog, pool=evaluator.pool)
+        with obs.tracer().span("process.evaluate", statements=len(pairs),
+                               configurations=len(configurations),
+                               processes=self.processes):
+            ctx = obs.tracer().current_context()
+            tasks = [
+                (
+                    start,
+                    [sql for sql, __ in pairs[start:start + chunk]],
+                    config_payloads,
+                    ctx,
+                )
+                for start in range(0, len(pairs), chunk)
+            ]
+            for start, chunk_columns, entries, obs_text in \
+                    pool.imap_unordered(_evaluate_task, tasks):
+                for offset, column in enumerate(chunk_columns):
+                    columns[start + offset] = column
+                for text in entries:
+                    wire.loads(text, evaluator.catalog, pool=evaluator.pool)
+                obs.ingest_deltas(wire.loads(obs_text))
         matrix = [
             [columns[s][c] for s in range(len(pairs))]
             for c in range(len(configurations))

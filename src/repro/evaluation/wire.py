@@ -51,6 +51,9 @@ __all__ = [
     "KIND_ENTRY",
     "KIND_TENANT",
     "KIND_SERVICE",
+    "KIND_OBS",
+    "obs_to_wire",
+    "obs_from_wire",
     "signature_to_wire",
     "signature_from_wire",
     "slot_to_wire",
@@ -66,13 +69,17 @@ __all__ = [
     "check_version",
 ]
 
-# Version 2: service snapshots carry scheduler state (per-tenant pending
-# event buffers); version-1 payloads predate the cooperative runtime.
-WIRE_VERSION = 2
+# Version 3: telemetry deltas (counter/histogram movement plus finished
+# spans from worker processes) are a first-class payload kind, so traces
+# stitch across the process backplane.  Version 2 added scheduler state
+# (per-tenant pending event buffers) to service snapshots; version-1
+# payloads predate the cooperative runtime.
+WIRE_VERSION = 3
 
 KIND_ENTRY = "inum-cache-entry"
 KIND_TENANT = "tenant-session"
 KIND_SERVICE = "tuning-service"
+KIND_OBS = "obs-delta"
 
 
 # ----------------------------------------------------------------------
@@ -222,6 +229,37 @@ def event_from_wire(payload):
 
 
 # ----------------------------------------------------------------------
+# Telemetry deltas (worker-process metrics + spans).
+# ----------------------------------------------------------------------
+
+
+def obs_to_wire(delta):
+    """One :func:`repro.obs.drain_deltas` payload as a wire section.
+
+    The delta is already JSON-safe (counter/histogram samples as plain
+    lists, finished spans as dicts); this stamps the payload kind so
+    :func:`loads` can route it, and the envelope version so a receiver
+    speaking an older telemetry schema rejects it loudly instead of
+    merging garbage into its registry."""
+    return {
+        "kind": KIND_OBS,
+        "counters": list(delta.get("counters", ())),
+        "histograms": list(delta.get("histograms", ())),
+        "spans": list(delta.get("spans", ())),
+    }
+
+
+def obs_from_wire(payload):
+    """Validate and return a telemetry-delta payload — feed the result
+    to :func:`repro.obs.ingest_deltas`."""
+    if payload.get("kind") != KIND_OBS:
+        raise WireFormatError(
+            "expected %r payload, got %r" % (KIND_OBS, payload.get("kind"))
+        )
+    return payload
+
+
+# ----------------------------------------------------------------------
 # Envelope: version stamping and checked parsing.
 # ----------------------------------------------------------------------
 
@@ -277,6 +315,8 @@ def loads(text, catalog=None, pool=None):
                 pool.put(signature, cache)
             pool.kernel_for(signature)
         return signature, cache
+    if kind == KIND_OBS:
+        return obs_from_wire(payload)
     if kind in (KIND_TENANT, KIND_SERVICE):
         return payload
     raise WireFormatError("unknown wire payload kind %r" % (kind,))

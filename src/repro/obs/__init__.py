@@ -1,0 +1,109 @@
+"""The telemetry backplane: one registry, one tracer, process-wide.
+
+Every layer of the designer — the cache pool, the columnar kernel, the
+cooperative scheduler, tenant sessions, BIP solves, the process
+backplane — reports into the state this module owns:
+
+* :func:`metrics` — the current :class:`~repro.obs.metrics.MetricsRegistry`
+  (counters, gauges, log-bucket histograms, scrape-time collectors);
+* :func:`tracer` — the current :class:`~repro.obs.trace.Tracer`
+  (context-propagated spans with parent ids, stitched across process
+  boundaries via the wire format);
+* :func:`disabled` — a context manager swapping both for shared no-op
+  twins: the uninstrumented baseline the overhead benchmark pins
+  against (``bench_claim_obs_overhead.py`` keeps instrumented kernel
+  evaluation and fleet ingest within a few percent of this);
+* :func:`drain_deltas` / :func:`ingest_deltas` — the worker-process
+  shipment: counter/histogram movement since the last drain plus the
+  finished spans, JSON-safe, carried as a versioned wire-format
+  section (:func:`repro.evaluation.wire.obs_to_wire`).
+
+Instrumentation always resolves the state *at call time*
+(``obs.metrics()`` / ``obs.tracer()``), never caches it at import, so
+:func:`disabled` and :func:`reset` take effect everywhere at once.
+Exports live in :mod:`repro.obs.export` (`/metrics` Prometheus text,
+``/trace`` JSON) and in :meth:`TuningService.status`, which merges
+:meth:`MetricsRegistry.snapshot` into its payload.
+"""
+
+from contextlib import contextmanager
+
+from repro.obs.export import MetricsServer
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+)
+from repro.obs.trace import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "MetricsServer",
+    "Span",
+    "Tracer",
+    "disabled",
+    "drain_deltas",
+    "enabled",
+    "ingest_deltas",
+    "metrics",
+    "reset",
+    "tracer",
+]
+
+_metrics = MetricsRegistry()
+_tracer = Tracer()
+
+
+def metrics():
+    """The process-wide metrics registry (or its no-op twin)."""
+    return _metrics
+
+
+def tracer():
+    """The process-wide tracer (or its no-op twin)."""
+    return _tracer
+
+
+def enabled():
+    """Is telemetry currently recording?"""
+    return _metrics is not NULL_REGISTRY
+
+
+@contextmanager
+def disabled():
+    """Swap the registry and tracer for shared no-op objects for the
+    duration of the block — the uninstrumented baseline."""
+    global _metrics, _tracer
+    saved = (_metrics, _tracer)
+    _metrics, _tracer = NULL_REGISTRY, NULL_TRACER
+    try:
+        yield
+    finally:
+        _metrics, _tracer = saved
+
+
+def reset():
+    """Replace the registry and tracer with fresh, empty ones (worker
+    initializers after fork, tests needing isolation).  Returns the new
+    registry."""
+    global _metrics, _tracer
+    _metrics = MetricsRegistry()
+    _tracer = Tracer()
+    return _metrics
+
+
+def drain_deltas():
+    """Everything this process accumulated since the last drain:
+    counter/histogram deltas plus finished spans — the worker-side half
+    of cross-process telemetry."""
+    payload = _metrics.drain_deltas()
+    payload["spans"] = _tracer.drain()
+    return payload
+
+
+def ingest_deltas(payload):
+    """Fold a :func:`drain_deltas` payload from another process into
+    the live registry and tracer."""
+    _metrics.apply_deltas(payload)
+    _tracer.ingest(payload.get("spans", ()))

@@ -21,6 +21,7 @@ elsewhere, or not at all never changes a result — only wall-clock time.
   not raw caches.
 """
 
+from repro import obs
 from repro.evaluation.process import ProcessPoolBackplane
 
 __all__ = ["StepExecutor", "ProcessStepExecutor"]
@@ -75,7 +76,9 @@ class ProcessStepExecutor(StepExecutor):
         resident in the shared pool are filtered out before any task is
         shipped, so a warm pool makes this a near no-op."""
         if statements:
-            self._backplane(evaluator).warm_up(statements)
+            with obs.tracer().span("executor.refill",
+                                   statements=len(statements)):
+                self._backplane(evaluator).warm_up(statements)
 
     def prepare(self, session, step):
         """Heavy steps (drift/interval/final refreshes, epoch-closing
@@ -83,7 +86,11 @@ class ProcessStepExecutor(StepExecutor):
         session's sliding window, making this a residency check except
         after pool evictions."""
         if step.heavy and step.prewarm:
-            self._backplane(session.evaluator).warm_up(list(step.prewarm))
+            with obs.tracer().span("executor.prepare", kind=step.kind,
+                                   statements=len(step.prewarm)):
+                self._backplane(session.evaluator).warm_up(
+                    list(step.prewarm)
+                )
 
     def close(self):
         for backplane in self._backplanes.values():

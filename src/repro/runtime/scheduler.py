@@ -33,6 +33,7 @@ small, explicit, and pausable.
 import time
 from collections import OrderedDict
 
+from repro import obs
 from repro.runtime.executor import StepExecutor
 from repro.runtime.steps import TenantTask, event_sql
 from repro.util import DesignError
@@ -71,6 +72,10 @@ class Scheduler:
         self.dispatch_log = [] if trace else None
         self._tasks = OrderedDict()
         self._snapshot_mark = 0
+        # Scrape-time mirror of the run-queue shape (queue depths,
+        # events started).  Held weakly by the registry: a retired
+        # scheduler drops off the collector list with its last ref.
+        obs.metrics().add_collector(self._collect_obs)
 
     # ------------------------------------------------------------------
     # Registration and intake.
@@ -102,7 +107,14 @@ class Scheduler:
     def submit(self, name, event):
         """Push one event to *name*; ``False`` means the tenant's buffer
         is full (admission refused — retry after :meth:`run`)."""
-        return self.task(name).submit(event)
+        admitted = self.task(name).submit(event)
+        if not admitted:
+            obs.metrics().counter(
+                "repro_scheduler_backpressure_total",
+                "Push-mode events refused by a full tenant buffer",
+                labelnames=("tenant",),
+            ).labels(tenant=name).inc()
+        return admitted
 
     def close_intake(self, name):
         self.task(name).close_intake()
@@ -151,7 +163,24 @@ class Scheduler:
             self.executor.refill(evaluator, statements)
 
     def _dispatch(self, task):
-        step = task.run_step(self.executor)
+        with obs.tracer().span("scheduler.step", tenant=task.name) as span:
+            t0 = time.perf_counter()
+            step = task.run_step(self.executor)
+            elapsed = time.perf_counter() - t0
+            # The step kind is known only after the task state machine
+            # advances; tag it in before the span closes.
+            span.set_tag("kind", step.kind)
+        registry = obs.metrics()
+        registry.counter(
+            "repro_scheduler_steps_total",
+            "Scheduler steps dispatched",
+            labelnames=("kind",),
+        ).labels(kind=step.kind).inc()
+        registry.histogram(
+            "repro_scheduler_step_seconds",
+            "Step dispatch latency",
+            labelnames=("kind",),
+        ).labels(kind=step.kind).observe(elapsed)
         self.steps += 1
         if self.dispatch_log is not None:
             self.dispatch_log.append((task.name, step.kind))
@@ -171,8 +200,14 @@ class Scheduler:
         """Drain to boundaries and invoke the snapshot callback."""
         self.drain_to_boundaries()
         self.snapshots += 1
-        self.last_snapshot_time = time.time()
+        # Monotonic: snapshot age must survive wall-clock adjustments
+        # (NTP slew, DST) — this timestamp is only ever differenced.
+        self.last_snapshot_time = time.monotonic()
         self._snapshot_mark = self.events_started
+        obs.metrics().counter(
+            "repro_scheduler_snapshots_total",
+            "Pause-point snapshots taken",
+        ).inc()
         if self.on_snapshot is not None:
             self.on_snapshot(self)
 
@@ -195,6 +230,27 @@ class Scheduler:
             ):
                 self.snapshot_now()
         return self.stats()
+
+    def _collect_obs(self, registry):
+        """Scrape-time mirror: per-tenant queue depth plus run-queue
+        totals as gauges — exact for the instant of the scrape, zero
+        cost on the dispatch path."""
+        depth = registry.gauge(
+            "repro_scheduler_queue_depth",
+            "Buffered-but-not-ingested events per tenant",
+            labelnames=("tenant",),
+        )
+        for name, task in self._tasks.items():
+            depth.labels(tenant=name).set(task.queue_depth)
+        registry.gauge(
+            "repro_scheduler_events_started",
+            "Events whose ingest has started",
+        ).set(self.events_started)
+        if self.last_snapshot_time is not None:
+            registry.gauge(
+                "repro_scheduler_snapshot_age_seconds",
+                "Seconds since the last pause-point snapshot",
+            ).set(time.monotonic() - self.last_snapshot_time)
 
     def stats(self):
         return {

@@ -38,6 +38,7 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.evaluation import ShardedInumCachePool, WorkloadEvaluator, wire
 from repro.runtime import Scheduler, StepExecutor
 from repro.service.tenant import TenantSession
@@ -107,6 +108,11 @@ class TuningService:
         self._pending = {}  # tenant -> restored not-yet-ingested events
         self._snapshots = 0
         self._last_snapshot_time = None
+        # Scrape-time mirror of pool statistics and tenant counters:
+        # the registry's counters match PoolStats to the unit because
+        # they are *set from* PoolStats at collect time, never counted
+        # separately.  Held weakly; dies with the service.
+        obs.metrics().add_collector(self._collect_obs)
 
     # ------------------------------------------------------------------
     # Registration.
@@ -303,7 +309,7 @@ class TuningService:
             if state_dir is not None:
                 self._write_state(state_dir, payload)
             self._snapshots += 1
-            self._last_snapshot_time = time.time()
+            self._last_snapshot_time = time.monotonic()
             if on_snapshot is not None:
                 on_snapshot(payload)
         return hook
@@ -432,7 +438,7 @@ class TuningService:
         good snapshot).  Returns the path written."""
         path = self._write_state(state_dir, self.snapshot())
         self._snapshots += 1
-        self._last_snapshot_time = time.time()
+        self._last_snapshot_time = time.monotonic()
         return path
 
     def _write_state(self, state_dir, payload):
@@ -467,11 +473,58 @@ class TuningService:
         return {name: len(self._pending.get(name, ()))
                 for name in self._tenants}
 
+    def _collect_obs(self, registry):
+        """Scrape-time mirror of pool and tenant accounting.
+
+        Counter families are *set* from the same lock-exact
+        :class:`~repro.evaluation.pool.PoolStats` snapshots
+        :meth:`status` reports, so a scrape and a status call taken at
+        the same quiet instant agree to the unit — and the costing hot
+        path carries zero extra bookkeeping."""
+        with self._lock:
+            planes = list(self._backplanes.items())
+            sessions = list(self._tenants.items())
+        hits = registry.counter(
+            "repro_pool_hits_total", "INUM cache pool hits",
+            labelnames=("backplane",))
+        misses = registry.counter(
+            "repro_pool_misses_total", "INUM cache pool misses",
+            labelnames=("backplane",))
+        evictions = registry.counter(
+            "repro_pool_evictions_total", "INUM cache pool evictions",
+            labelnames=("backplane",))
+        builds = registry.counter(
+            "repro_pool_optimizer_calls_total",
+            "Optimizer calls spent building pool entries",
+            labelnames=("backplane",))
+        entries = registry.gauge(
+            "repro_pool_entries", "Resident INUM cache entries",
+            labelnames=("backplane",))
+        kernels = registry.gauge(
+            "repro_pool_kernels", "Compiled columnar kernels resident",
+            labelnames=("backplane",))
+        for key, plane in planes:
+            stats = plane.pool.stats
+            hits.labels(backplane=key).set_total(stats.hits)
+            misses.labels(backplane=key).set_total(stats.misses)
+            evictions.labels(backplane=key).set_total(stats.evictions)
+            builds.labels(backplane=key).set_total(stats.optimizer_calls)
+            entries.labels(backplane=key).set(len(plane.pool))
+            kernels.labels(backplane=key).set(plane.pool.kernel_count)
+        queries = registry.counter(
+            "repro_tenant_queries_total", "Query events ingested per tenant",
+            labelnames=("tenant",))
+        for name, session in sessions:
+            queries.labels(tenant=name).set_total(session.queries)
+
     def status(self):
         """Mergeable point-in-time snapshot of every tenant and pool."""
+        # Monotonic difference: snapshot age must not jump when the
+        # wall clock is adjusted (NTP slew, DST) under a long-lived
+        # service.
         age = None
         if self._last_snapshot_time is not None:
-            age = time.time() - self._last_snapshot_time
+            age = time.monotonic() - self._last_snapshot_time
         return {
             "tenants": {
                 name: session.status()
@@ -487,6 +540,10 @@ class TuningService:
                 "snapshots": self._snapshots,
                 "last_snapshot_age": age,
             },
+            # The merged telemetry registry (collectors run first, so
+            # pool/scheduler mirrors are current): one JSON-safe view
+            # of every counter, gauge, and histogram.
+            "obs": obs.metrics().snapshot(),
         }
 
     def status_text(self):

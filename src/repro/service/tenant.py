@@ -24,10 +24,12 @@ thread; *different* sessions sharing an evaluator may run
 concurrently.
 """
 
+import time
 from collections import deque
 from dataclasses import asdict, dataclass
 from functools import partial
 
+from repro import obs
 from repro.colt import ColtSettings
 from repro.designer.facade import Designer
 from repro.evaluation import wire
@@ -164,6 +166,11 @@ class TenantSession:
         self._phase = phase
         self._phases_seen.append(phase)
         if previous is not None:
+            obs.metrics().counter(
+                "repro_tenant_drift_total",
+                "Phase boundaries observed per tenant",
+                labelnames=("tenant",),
+            ).labels(tenant=self.name).inc()
             self.drift_events.append(
                 DriftEvent(
                     at_query=self.queries,
@@ -180,6 +187,14 @@ class TenantSession:
     def _observe_step(self, sql):
         self.queries += 1
         self.window.append(sql)
+        # Counts exactly what ``queries`` counts — the scrape-time
+        # mirror in the service sets repro_tenant_queries_total from
+        # the attribute, this one moves with the event itself.
+        obs.metrics().counter(
+            "repro_tenant_events_total",
+            "Observe steps run per tenant",
+            labelnames=("tenant",),
+        ).labels(tenant=self.name).inc()
         self.tuner.observe(sql)
 
     def finish_steps(self):
@@ -205,8 +220,9 @@ class TenantSession:
 
     def ingest(self, event):
         """Consume one query event: ``(phase, sql)`` or plain SQL."""
-        for step in self.ingest_steps(event):
-            step.run()
+        with obs.tracer().span("tenant.ingest", tenant=self.name):
+            for step in self.ingest_steps(event):
+                step.run()
 
     def drain(self, stream, finish=True):
         """Ingest an entire event stream (the blocking convenience)."""
@@ -226,13 +242,27 @@ class TenantSession:
     # ------------------------------------------------------------------
 
     def _refresh(self, trigger):
-        rec = self.designer.recommend(
-            list(self.window),
-            storage_budget_pages=self.budget_pages,
-            solver=self.solver,
-            partitions=self.partitions,
-            schedule=False,
-        )
+        with obs.tracer().span("tenant.refresh", tenant=self.name,
+                               trigger=trigger):
+            t0 = time.perf_counter()
+            rec = self.designer.recommend(
+                list(self.window),
+                storage_budget_pages=self.budget_pages,
+                solver=self.solver,
+                partitions=self.partitions,
+                schedule=False,
+            )
+            elapsed = time.perf_counter() - t0
+        registry = obs.metrics()
+        registry.counter(
+            "repro_tenant_refreshes_total",
+            "Full-advisor refreshes by trigger",
+            labelnames=("trigger",),
+        ).labels(trigger=trigger).inc()
+        registry.histogram(
+            "repro_tenant_refresh_seconds",
+            "Full-advisor refresh latency",
+        ).observe(elapsed)
         self.last_recommendation = rec
         self.recommendations.append(
             RecommendationRecord(

@@ -1,0 +1,464 @@
+"""Tests for the telemetry backplane (ISSUE 7).
+
+Covers the registry/tracer core, the Prometheus rendering, worker-delta
+merging, and the observability satellites the issue pins:
+
+* ``TuningService.status()`` / ``status_text()`` field-by-field;
+* scheduler queue-depth reporting (``queue_depths()`` and the scrape
+  mirror gauge agree with the task state);
+* merged registry snapshots stay consistent under concurrent updates
+  (fuzz: a snapshot must never tear a histogram's sum/count pair).
+"""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.colt import ColtSettings
+from repro.evaluation import wire
+from repro.obs import MetricsRegistry, MetricsServer, Tracer
+from repro.runtime import Scheduler
+from repro.service import TuningService
+from repro.workloads import DriftPhase, drifting_stream, sdss
+from repro.workloads import sdss_catalog as make_sdss
+
+SDSS_PHASES = (
+    DriftPhase("positional", 6, ((sdss.template("cone_search"), 1.0),)),
+    DriftPhase("photometric", 6, ((sdss.template("magnitude_cut"), 1.0),)),
+)
+
+COLT = ColtSettings(epoch_length=5, space_budget_pages=50_000)
+
+
+@pytest.fixture(scope="module")
+def astro_catalog():
+    return make_sdss(scale=0.01)
+
+
+@pytest.fixture
+def fresh_registry():
+    """An empty process-wide registry/tracer for tests asserting exact
+    global counts.  (Not autouse: the class-scoped service fixture below
+    records into the registry once for several tests.)"""
+    obs.reset()
+    yield
+    obs.reset()
+
+
+# ----------------------------------------------------------------------
+# Registry core.
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "a counter").inc()
+        reg.counter("c_total").inc(2)
+        reg.gauge("g", "a gauge").set(7)
+        reg.gauge("g").dec(2)
+        hist = reg.histogram("h_seconds", "a histogram")
+        hist.observe(0.001)
+        hist.observe(0.001)
+        assert reg.value("c_total") == 3
+        assert reg.value("g") == 5
+        snap = reg.snapshot()
+        sample = snap["histograms"]["h_seconds"]["samples"][0]
+        assert sample["count"] == 2
+        assert sample["sum"] == pytest.approx(0.002)
+        assert sum(sample["bucket_counts"]) == 2
+
+    def test_labels_create_distinct_series(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("x_total", "", labelnames=("mode",))
+        fam.labels(mode="a").inc()
+        fam.labels(mode="b").inc(5)
+        assert reg.value("x_total", mode="a") == 1
+        assert reg.value("x_total", mode="b") == 5
+        assert reg.value("x_total", mode="absent") == 0
+
+    def test_redeclare_with_different_shape_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("dup_total", "", labelnames=("a",))
+        with pytest.raises(ValueError):
+            reg.gauge("dup_total")
+        with pytest.raises(ValueError):
+            reg.counter("dup_total", "", labelnames=("b",))
+        with pytest.raises(ValueError):
+            reg.counter("dup_total", "", labelnames=("a",)).labels(b=1)
+
+    def test_prometheus_rendering(self):
+        reg = MetricsRegistry()
+        reg.counter("r_total", "requests", labelnames=("code",)) \
+            .labels(code=200).inc(3)
+        reg.histogram("l_seconds", "latency").observe(0.5)
+        text = reg.render_prometheus()
+        assert '# TYPE r_total counter' in text
+        assert 'r_total{code="200"} 3' in text
+        assert '# TYPE l_seconds histogram' in text
+        # Cumulative buckets: every bound >= 0.5 reports the one
+        # observation, and +Inf/_count/_sum close the family.
+        assert 'l_seconds_bucket{le="+Inf"} 1' in text
+        assert 'l_seconds_count 1' in text
+        assert 'l_seconds_sum 0.5' in text
+
+    def test_collector_weakref_dies_with_owner(self):
+        reg = MetricsRegistry()
+
+        class Owner:
+            def mirror(self, registry):
+                registry.counter("mirrored_total").set_total(42)
+
+        owner = Owner()
+        reg.add_collector(owner.mirror)
+        assert reg.snapshot()["counters"]["mirrored_total"]
+        assert reg.value("mirrored_total") == 42
+        del owner
+        # The dead collector drops off; the last mirrored value stays.
+        reg.snapshot()
+        assert reg.value("mirrored_total") == 42
+
+    def test_drain_deltas_ship_only_movement(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "", labelnames=("k",)).labels(k="x").inc(3)
+        reg.histogram("h_seconds").observe(0.25)
+        first = reg.drain_deltas()
+        assert first["counters"][0]["samples"] == [[["x"], 3]]
+        assert first["histograms"][0]["samples"][0][3] == 1
+        # No movement since the drain: the next payload is empty.
+        empty = reg.drain_deltas()
+        assert empty["counters"] == [] and empty["histograms"] == []
+        # Folding into a fresh registry reproduces the totals.
+        target = MetricsRegistry()
+        target.apply_deltas(first)
+        assert target.value("c_total", k="x") == 3
+        snap = target.snapshot()["histograms"]["h_seconds"]["samples"][0]
+        assert snap["count"] == 1 and snap["sum"] == pytest.approx(0.25)
+
+
+# ----------------------------------------------------------------------
+# Tracer.
+# ----------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_nesting_and_tags(self):
+        tr = Tracer()
+        with tr.span("outer", who="me") as outer:
+            with tr.span("inner") as inner:
+                inner.set_tag("late", True)
+                assert tr.current_context() == (inner.trace_id,
+                                                inner.span_id)
+        spans = tr.export()
+        by_name = {s["name"]: s for s in spans}
+        assert by_name["inner"]["trace_id"] == by_name["outer"]["trace_id"]
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["outer"]["parent_id"] is None
+        assert by_name["inner"]["tags"] == {"late": True}
+        assert by_name["outer"]["duration"] >= 0
+
+    def test_remote_parent_stitches_across_drain(self):
+        parent, worker = Tracer(), Tracer()
+        with parent.span("dispatch") as dispatch:
+            ctx = parent.current_context()
+        with worker.span("work", remote_parent=ctx):
+            pass
+        parent.ingest(worker.drain())
+        assert worker.export() == []  # drain pops
+        spans = parent.export()
+        work = [s for s in spans if s["name"] == "work"][0]
+        assert work["trace_id"] == dispatch.trace_id
+        assert work["parent_id"] == dispatch.span_id
+
+    def test_error_recorded_and_buffer_bounded(self):
+        tr = Tracer(limit=4)
+        with pytest.raises(RuntimeError):
+            with tr.span("boom"):
+                raise RuntimeError("nope")
+        assert "RuntimeError: nope" in tr.export()[-1]["error"]
+        for i in range(10):
+            with tr.span("s%d" % i):
+                pass
+        assert len(tr.export()) == 4  # ring buffer, newest win
+
+    def test_obs_wire_roundtrip(self):
+        obs.reset()
+        obs.metrics().counter("shipped_total").inc(2)
+        with obs.tracer().span("worker.step"):
+            pass
+        text = wire.dumps(wire.obs_to_wire(obs.drain_deltas()))
+        obs.reset()
+        obs.ingest_deltas(wire.loads(text))
+        assert obs.metrics().value("shipped_total") == 2
+        assert obs.tracer().export()[-1]["name"] == "worker.step"
+
+
+# ----------------------------------------------------------------------
+# Disabled mode.
+# ----------------------------------------------------------------------
+
+
+class TestDisabled:
+    def test_disabled_records_nothing_and_restores(self, fresh_registry):
+        reg = obs.metrics()
+        assert obs.enabled()
+        with obs.disabled():
+            assert not obs.enabled()
+            obs.metrics().counter("ghost_total").inc()
+            with obs.tracer().span("ghost") as span:
+                span.set_tag("k", 1)  # must be a no-op, not an error
+            assert obs.tracer().export() == []
+            assert obs.metrics().render_prometheus() == ""
+        assert obs.metrics() is reg
+        assert reg.value("ghost_total") == 0
+
+
+# ----------------------------------------------------------------------
+# Satellite: scheduler queue-depth reporting.
+# ----------------------------------------------------------------------
+
+
+class TestSchedulerQueueDepth:
+    def _session(self, service, name):
+        return service.add_tenant(
+            name, "sdss", colt_settings=COLT, recommend_every=0,
+        )
+
+    def test_queue_depths_track_intake_and_scrape_mirror(
+            self, astro_catalog, fresh_registry):
+        service = TuningService()
+        service.add_backplane("sdss", astro_catalog)
+        scheduler = Scheduler()
+        scheduler.add("push", self._session(service, "push"),
+                      max_pending=3, finish=False)
+        events = [sql for __, sql in drifting_stream(SDSS_PHASES, seed=2)]
+        assert scheduler.queue_depths() == {"push": 0}
+        for sql in events[:3]:
+            assert scheduler.submit("push", sql)
+        assert scheduler.queue_depths() == {"push": 3}
+        # Buffer full: admission refused and counted as backpressure.
+        assert not scheduler.submit("push", events[3])
+        assert scheduler.queue_depths() == {"push": 3}
+        assert obs.metrics().value(
+            "repro_scheduler_backpressure_total", tenant="push") == 1
+        # The scrape-time gauge mirrors the same number, exactly.
+        snap = obs.metrics().snapshot()
+        depth = snap["gauges"]["repro_scheduler_queue_depth"]["samples"]
+        assert depth == [{"labels": {"tenant": "push"}, "value": 3}]
+        # Run drains the buffer; both surfaces drop to zero together.
+        scheduler.run()
+        assert scheduler.queue_depths() == {"push": 0}
+        assert scheduler.stats()["tenants"]["push"]["queue_depth"] == 0
+        snap = obs.metrics().snapshot()
+        depth = snap["gauges"]["repro_scheduler_queue_depth"]["samples"]
+        assert depth == [{"labels": {"tenant": "push"}, "value": 0}]
+
+    def test_steps_counter_matches_stats(self, astro_catalog,
+                                         fresh_registry):
+        service = TuningService()
+        service.add_backplane("sdss", astro_catalog)
+        scheduler = Scheduler()
+        scheduler.add("t", self._session(service, "t"),
+                      drifting_stream(SDSS_PHASES, seed=2))
+        stats = scheduler.run()
+        reg = obs.metrics()
+        snap = reg.snapshot()
+        steps = snap["counters"]["repro_scheduler_steps_total"]["samples"]
+        assert sum(s["value"] for s in steps) == stats["steps"]
+        assert reg.value("repro_scheduler_events_started") \
+            == stats["events"]
+
+
+# ----------------------------------------------------------------------
+# Satellite: TuningService.status() / status_text() field by field.
+# ----------------------------------------------------------------------
+
+
+class TestServiceStatus:
+    @pytest.fixture(scope="class")
+    def served(self, astro_catalog):
+        obs.reset()
+        service = TuningService(shards=2)
+        service.add_backplane("sdss", astro_catalog)
+        for name in ("alpha", "beta"):
+            service.add_tenant(name, "sdss", colt_settings=COLT,
+                               recommend_every=0)
+        streams = {
+            "alpha": drifting_stream(SDSS_PHASES, seed=2),
+            "beta": drifting_stream(SDSS_PHASES, seed=3),
+        }
+        status = service.run_scheduled(streams)
+        return service, status
+
+    def test_status_tenant_fields(self, served):
+        service, status = served
+        assert set(status["tenants"]) == {"alpha", "beta"}
+        for name, tenant in status["tenants"].items():
+            session = service.tenant(name)
+            assert tenant["tenant"] == name
+            assert tenant["queries"] == session.queries == 12
+            assert tenant["phase"] == "photometric"
+            assert tenant["phases_seen"] == ["positional", "photometric"]
+            assert tenant["epochs"] == len(session.tuner.report.epochs)
+            assert tenant["alerts"] == session.tuner.report.alerts
+            assert tenant["adoptions"] == session.tuner.report.adoptions
+            assert tenant["drift_events"] == len(session.drift_events)
+            assert tenant["observed_cost"] == pytest.approx(
+                session.tuner.report.observed_cost)
+            assert tenant["build_cost"] == pytest.approx(
+                session.tuner.report.build_cost)
+            assert tenant["whatif_probes"] \
+                == session.tuner.report.whatif_probes
+            assert tenant["configuration"] == tuple(
+                sorted(ix.name for ix in session.tuner.current.indexes))
+            assert tenant["recommendations"] == len(session.recommendations)
+            assert isinstance(tenant["pending_alert"], bool)
+            assert tenant["finished"] is True
+
+    def test_status_backplane_and_runtime_fields(self, served):
+        service, status = served
+        plane = status["backplanes"]["sdss"]
+        pool = service.backplane("sdss").pool
+        assert sorted(plane["tenants"]) == ["alpha", "beta"]
+        assert plane["shards"] == 2
+        assert plane["pool_size"] == len(pool)
+        assert plane["kernels"] == pool.kernel_count
+        stats = pool.stats
+        assert plane["hits"] == stats.hits
+        assert plane["misses"] == stats.misses
+        assert plane["evictions"] == stats.evictions
+        assert plane["optimizer_calls"] == stats.optimizer_calls
+        runtime = status["runtime"]
+        assert runtime["active"] is False
+        assert runtime["queue_depths"] == {"alpha": 0, "beta": 0}
+        assert runtime["snapshots"] == 0
+        assert runtime["last_snapshot_age"] is None
+
+    def test_status_merges_obs_snapshot(self, served):
+        service, __ = served
+        snap = service.status()["obs"]
+        # The collector mirror keeps the scraped pool counters equal to
+        # the PoolStats the backplane itself reports.
+        stats = service.backplane("sdss").pool.stats
+        hits = snap["counters"]["repro_pool_hits_total"]["samples"]
+        assert hits == [
+            {"labels": {"backplane": "sdss"}, "value": stats.hits}
+        ]
+        queries = snap["counters"]["repro_tenant_queries_total"]["samples"]
+        assert {s["labels"]["tenant"]: s["value"] for s in queries} \
+            == {"alpha": 12, "beta": 12}
+        assert "repro_evaluate_seconds" in snap["histograms"]
+
+    def test_status_text_renders_every_surface(self, served):
+        service, status = served
+        text = service.status_text()
+        lines = text.splitlines()
+        assert lines[0].split()[:3] == ["tenant", "phase", "queries"]
+        for name in ("alpha", "beta"):
+            row = [l for l in lines if l.startswith(name)][0]
+            tenant = status["tenants"][name]
+            fields = row.split()
+            assert fields[1] == tenant["phase"]
+            assert int(fields[2]) == tenant["queries"]
+            assert int(fields[3]) == tenant["epochs"]
+            assert int(fields[4]) == tenant["drift_events"]
+            assert fields[-1] == (",".join(tenant["configuration"])
+                                  or "(none)")
+        plane_row = [l for l in lines if l.startswith("backplane")][0]
+        assert "tenants=2" in plane_row and "shards=2" in plane_row
+        runtime_row = [l for l in lines if l.startswith("runtime:")][0]
+        assert "idle" in runtime_row and "queued=0" in runtime_row
+
+    def test_metrics_server_serves_status(self, served):
+        service, __ = served
+        server = MetricsServer(status_fn=service.status).start()
+        try:
+            def fetch(path):
+                with urllib.request.urlopen(server.url + path, timeout=10) \
+                        as response:
+                    return response.read().decode("utf-8")
+
+            scraped = fetch("/metrics")
+            assert "repro_pool_hits_total" in scraped
+            assert "repro_evaluate_seconds_bucket" in scraped
+            status = json.loads(fetch("/status"))
+            assert status["tenants"]["alpha"]["queries"] == 12
+            trace = json.loads(fetch("/trace"))
+            names = {s["name"] for s in trace["spans"]}
+            # Scheduled runs dispatch steps (not ingest() calls): the
+            # step spans and their evaluate children must be present.
+            assert "scheduler.step" in names
+            assert "evaluate.batch" in names
+        finally:
+            server.stop()
+
+
+# ----------------------------------------------------------------------
+# Satellite: merged snapshots stay consistent under concurrent updates.
+# ----------------------------------------------------------------------
+
+
+class TestConcurrentSnapshots:
+    def test_snapshot_never_tears_under_fuzz(self):
+        reg = MetricsRegistry()
+        n_threads, n_ops = 4, 1500
+        counter = reg.counter("fuzz_total", "", labelnames=("t",))
+        hist = reg.histogram("fuzz_seconds", "", labelnames=("t",))
+        start = threading.Barrier(n_threads + 1)
+
+        def hammer(tid):
+            c = counter.labels(t=tid)
+            h = hist.labels(t=tid)
+            start.wait()
+            for __ in range(n_ops):
+                c.inc()
+                h.observe(1.0)  # every observation adds exactly 1.0
+
+        threads = [
+            threading.Thread(target=hammer, args=(tid,))
+            for tid in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        start.wait()
+        # Snapshot continuously while the writers run: each view must be
+        # internally consistent even though it races the increments.
+        for __ in range(200):
+            snap = reg.snapshot()
+            for sample in snap["histograms"].get(
+                    "fuzz_seconds", {"samples": ()})["samples"]:
+                # sum == count exactly (all observations are 1.0) and
+                # the bucket counts account for every observation: a
+                # torn read would break one of these.
+                assert sample["sum"] == sample["count"]
+                assert sum(sample["bucket_counts"]) == sample["count"]
+        for t in threads:
+            t.join()
+        for tid in range(n_threads):
+            assert reg.value("fuzz_total", t=tid) == n_ops
+        final = reg.snapshot()["histograms"]["fuzz_seconds"]["samples"]
+        assert sum(s["count"] for s in final) == n_threads * n_ops
+
+    def test_concurrent_drains_merge_exactly(self):
+        """Worker-style drain/apply under concurrency loses nothing:
+        the merged registry ends at the exact total."""
+        source, target = MetricsRegistry(), MetricsRegistry()
+        n_ops = 2000
+        done = threading.Event()
+
+        def writer():
+            c = source.counter("moved_total")
+            for __ in range(n_ops):
+                c.inc()
+            done.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        while not done.is_set():
+            target.apply_deltas(source.drain_deltas())
+        thread.join()
+        target.apply_deltas(source.drain_deltas())
+        assert target.value("moved_total") == n_ops
