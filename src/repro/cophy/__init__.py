@@ -10,13 +10,15 @@ the paper's introduction criticizes for "pruning away large fractions of
 the search space".
 """
 
-from repro.cophy.candidates import candidate_indexes
+from repro.cophy.candidates import CandidateGenerator, candidate_indexes
 from repro.cophy.bip import BipProblem, build_bip
 from repro.cophy.solvers import solve_bip, solve_branch_and_bound, solve_lp_rounding
 from repro.cophy.greedy import greedy_select
+from repro.cophy.colgen import solve_colgen
 from repro.cophy.advisor import CoPhyAdvisor, Recommendation
 
 __all__ = [
+    "CandidateGenerator",
     "candidate_indexes",
     "BipProblem",
     "build_bip",
@@ -24,6 +26,7 @@ __all__ = [
     "solve_branch_and_bound",
     "solve_lp_rounding",
     "greedy_select",
+    "solve_colgen",
     "CoPhyAdvisor",
     "Recommendation",
 ]

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.cophy.bip import build_bip
 from repro.cophy.candidates import candidate_indexes
+from repro.cophy.colgen import solve_colgen
 from repro.cophy.greedy import greedy_select
 from repro.cophy.solvers import solve_bip, solve_branch_and_bound, solve_lp_rounding
 from repro.evaluation import WorkloadEvaluator
@@ -25,6 +26,10 @@ _SOLVERS = {
     "greedy": greedy_select,
     "greedy-benefit": lambda problem: greedy_select(problem, by_ratio=False),
 }
+
+# Solvers that price candidates lazily instead of consuming a fully
+# materialized BipProblem — the advisor skips build_bip for these.
+_LAZY_SOLVERS = {"colgen"}
 
 
 @dataclass
@@ -97,9 +102,10 @@ class CoPhyAdvisor:
         """
         if budget_pages < 0:
             raise DesignError("storage budget must be non-negative")
-        if solver not in _SOLVERS:
+        if solver not in _SOLVERS and solver not in _LAZY_SOLVERS:
             raise DesignError(
-                "unknown solver %r (have: %s)" % (solver, sorted(_SOLVERS))
+                "unknown solver %r (have: %s)"
+                % (solver, sorted(set(_SOLVERS) | _LAZY_SOLVERS))
             )
         workload = list(workload)
         if not workload:
@@ -119,20 +125,39 @@ class CoPhyAdvisor:
             candidates = candidate_indexes(
                 self.catalog, workload, max_candidates=max_candidates
             )
-        problem = build_bip(
-            self.cost_model, workload, candidates, budget_pages,
-            max_indexes=max_indexes,
-        )
-        result = _SOLVERS[solver](problem)
+        if solver in _LAZY_SOLVERS:
+            # Column generation: no exhaustive BIP — candidates are
+            # priced by the slot pricer and activated on demand, so the
+            # cross-product of (slot, candidate) options is never fully
+            # materialized into a problem object.
+            result = solve_colgen(
+                self.cost_model, workload, candidates, budget_pages,
+                max_indexes=max_indexes,
+            )
+            base_cost = result.extra["base_cost"]
+            size_pages = sum(
+                float(candidates[pos].size_pages(
+                    self.catalog.table(candidates[pos].table_name)
+                ))
+                for pos in set(result.chosen_positions)
+            )
+        else:
+            problem = build_bip(
+                self.cost_model, workload, candidates, budget_pages,
+                max_indexes=max_indexes,
+            )
+            result = _SOLVERS[solver](problem)
+            base_cost = problem.config_cost(())
+            size_pages = problem.config_size(result.chosen_positions)
 
         chosen = [candidates[pos] for pos in result.chosen_positions]
         config = Configuration(indexes=frozenset(chosen))
         return Recommendation(
             indexes=sorted(chosen, key=lambda ix: ix.name),
             configuration=config,
-            base_workload_cost=problem.config_cost(()),
+            base_workload_cost=base_cost,
             predicted_workload_cost=result.objective,
-            size_pages=int(problem.config_size(result.chosen_positions)),
+            size_pages=int(size_pages),
             budget_pages=int(budget_pages),
             solver=result.solver,
             solve_seconds=time.perf_counter() - started,
@@ -146,5 +171,6 @@ class CoPhyAdvisor:
                 "status": result.status,
                 "nodes": result.nodes_explored,
                 "compression": compression_stats,
+                "solve_extra": dict(result.extra) or None,
             },
         )

@@ -72,14 +72,14 @@ class BipProblem:
     def n_candidates(self):
         return len(self.candidates)
 
-    def config_cost(self, chosen_positions):
+    def config_cost(self, chosen_positions, sparse=False):
         """Objective value of a given set of candidate positions — the
         best z/x completion is computed greedily (it decomposes).
         Single pricing implementation: delegates to :meth:`config_costs`
         so exact solvers and the greedy batch path cannot diverge."""
-        return self.config_costs([chosen_positions])[0]
+        return self.config_costs([chosen_positions], sparse=sparse)[0]
 
-    def config_costs(self, batch):
+    def config_costs(self, batch, sparse=False):
         """Objective values for a batch of candidate-position sets,
         priced on the columnar :class:`~repro.evaluation.kernel.BipKernel`:
         per-slot minima over applicable accesses (the default plus the
@@ -87,12 +87,17 @@ class BipProblem:
         grouped array reductions over the whole batch at once.  Compiled
         lazily, once — the problem is immutable after ``build_bip``.
         Results equal :meth:`config_costs_scalar` (and therefore
-        ``config_cost``) bit-exactly."""
+        ``config_cost``) bit-exactly.
+
+        ``sparse=True`` prices each member as a footprint scatter
+        against the empty-set base state instead of allocating the
+        dense batch × options mask — bit-identical, and the mode the
+        column-generation solver routes its pricing through."""
         if self._kernel is None:
             from repro.evaluation.kernel import BipKernel
 
             self._kernel = BipKernel(self)
-        return self._kernel.evaluate(batch)
+        return self._kernel.evaluate(batch, sparse=sparse)
 
     def config_costs_delta(self, chosen, extensions):
         """Objective values of ``chosen + [pos]`` for every extension

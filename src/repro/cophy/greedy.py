@@ -13,7 +13,7 @@ import time
 from repro.cophy.solvers import SolveResult, observed_solve
 
 
-def greedy_select(problem, by_ratio=True, delta=True):
+def greedy_select(problem, by_ratio=True, delta=True, sparse=False):
     """Greedy selection over a :class:`~repro.cophy.bip.BipProblem`.
 
     ``by_ratio=True`` ranks candidates by benefit/size (the usual
@@ -27,11 +27,19 @@ def greedy_select(problem, by_ratio=True, delta=True):
     The chosen indexes, objective, and round-by-round decisions are
     bit-identical to the full-batch sweep, which ``delta=False`` keeps
     available as the reference.
+
+    ``sparse=True`` routes batch pricing (the initial cost and the
+    ``delta=False`` sweeps) through the kernel's sparse footprint mode
+    — bit-identical again, so every combination of the two flags makes
+    the same decisions.
     """
     started = time.perf_counter()
     chosen = []
     used = 0.0
-    current_cost = problem.config_cost(chosen)
+    current_cost = (
+        problem.config_cost(chosen, sparse=True) if sparse
+        else problem.config_cost(chosen)
+    )
     evaluations = 1
     remaining = set(range(problem.n_candidates))
     delta = delta and hasattr(problem, "config_costs_delta")
@@ -48,7 +56,11 @@ def greedy_select(problem, by_ratio=True, delta=True):
         if delta:
             costs = problem.config_costs_delta(chosen, feasible)
         else:
-            costs = problem.config_costs([chosen + [pos] for pos in feasible])
+            children = [chosen + [pos] for pos in feasible]
+            costs = (
+                problem.config_costs(children, sparse=True) if sparse
+                else problem.config_costs(children)
+            )
         evaluations += len(feasible)
         best_pos = None
         best_score = 0.0

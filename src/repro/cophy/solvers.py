@@ -35,6 +35,7 @@ class SolveResult:
     nodes_explored: int = 0
     n_variables: int = 0
     n_constraints: int = 0
+    extra: dict = field(default_factory=dict)  # backend-specific stats
 
     @property
     def gap(self):

@@ -82,7 +82,7 @@ def build_parser():
     )
     recommend.add_argument(
         "--solver",
-        choices=("milp", "greedy", "lp-rounding", "bnb"),
+        choices=("milp", "greedy", "lp-rounding", "bnb", "colgen"),
         default="milp",
     )
     recommend.add_argument(

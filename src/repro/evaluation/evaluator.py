@@ -461,16 +461,42 @@ class WorkloadEvaluator(InumCostModel):
         compiled.signatures = frozenset(signatures)
         return compiled
 
-    def evaluate_many(self, workload, configurations):
+    def evaluate_many(self, workload, configurations, sparse=False):
         """Price the whole workload × configuration grid on the
         columnar kernel (:mod:`repro.evaluation.kernel`): one
         ``configurations × slots`` access-cost matrix, per-statement
         numpy reductions, results bit-identical to the scalar batched
         path and the per-call :meth:`cost`.  This is the batch seam
         CoPhy sweeps, COLT epoch scoring, and doi prefetch route
-        through."""
+        through.
+
+        ``sparse=True`` skips the dense matrix entirely: each
+        configuration resolves per-table column blocks on demand
+        against the shared base-design state, so memory and resolve
+        work scale with the configuration's active footprint.  Results
+        stay bit-identical (dense remains the pinned reference, same
+        pattern as ``kernel=False``)."""
         return self.evaluate_configurations(workload, configurations,
-                                            kernel=True)
+                                            kernel=True, sparse=sparse)
+
+    def _base_view(self):
+        """The design view of the empty configuration — the shared base
+        design sparse kernel passes diff against."""
+        return _DesignView(self.catalog, Configuration.empty())
+
+    def _observe_sparse(self, fused, cells_before, dense_before):
+        """Record one sparse pass's column work: slot cells actually
+        materialized vs. the dense-equivalent count the full matrix
+        would have resolved."""
+        registry = obs.metrics()
+        registry.counter(
+            "repro_sparse_cells_total",
+            "Slot cells materialized by sparse kernel passes",
+        ).inc(fused.sparse_cells - cells_before)
+        registry.counter(
+            "repro_sparse_dense_equiv_cells_total",
+            "Slot cells an equivalent dense pass would have resolved",
+        ).inc(fused.dense_equiv_cells - dense_before)
 
     def _kernel_views(self, compiled, configurations):
         """Per-configuration design views and per-table signatures for
@@ -556,17 +582,25 @@ class WorkloadEvaluator(InumCostModel):
         cells.inc(statements * configurations)
         seconds.observe(elapsed)
 
-    def _evaluate_kernel(self, compiled, configurations):
+    def _evaluate_kernel(self, compiled, configurations, sparse=False):
         """The kernel evaluate phase: views and per-table design
         signatures once per configuration, then pure array arithmetic
         (plus the scalar write path — writes are few and analytic)."""
         views, table_sigs = self._kernel_views(compiled, configurations)
-        reads = compiled.kernel.evaluate_many(
-            views, table_sigs, self.slot_cost
-        )
+        fused = compiled.kernel
+        if sparse:
+            cells, dense = fused.sparse_cells, fused.dense_equiv_cells
+            reads = fused.evaluate_many(
+                views, table_sigs, self.slot_cost,
+                sparse=True, base_view=self._base_view(),
+            )
+            self._observe_sparse(fused, cells, dense)
+        else:
+            reads = fused.evaluate_many(views, table_sigs, self.slot_cost)
         return self._assemble_batch(compiled, configurations, views, reads)
 
-    def evaluate_deltas(self, workload, parent, configurations):
+    def evaluate_deltas(self, workload, parent, configurations,
+                        sparse=False):
         """Price *configurations* as single-design deltas off *parent*.
 
         The seminaïve seam greedy rounds, COLT epoch scoring, and IBG
@@ -586,17 +620,23 @@ class WorkloadEvaluator(InumCostModel):
             t0 = time.perf_counter()
             state = self._kernel_state(compiled, parent)
             views, table_sigs = self._kernel_views(compiled, configurations)
-            reads = compiled.kernel.evaluate_deltas(
-                state, views, table_sigs, self.slot_cost
+            fused = compiled.kernel
+            if sparse:
+                cells, dense = fused.sparse_cells, fused.dense_equiv_cells
+            reads = fused.evaluate_deltas(
+                state, views, table_sigs, self.slot_cost, sparse=sparse
             )
+            if sparse:
+                self._observe_sparse(fused, cells, dense)
             batch = self._assemble_batch(compiled, configurations, views,
                                          reads)
-            self._observe_batch("delta", time.perf_counter() - t0,
+            self._observe_batch("delta-sparse" if sparse else "delta",
+                                time.perf_counter() - t0,
                                 len(compiled.positions), len(configurations))
             return batch
 
     def evaluate_configurations(self, workload, configurations, parallel=None,
-                                max_workers=None, kernel=None):
+                                max_workers=None, kernel=None, sparse=False):
         """Price all *configurations* against all of *workload* in one pass.
 
         The evaluate phase issues zero optimizer calls (beyond cache
@@ -623,13 +663,17 @@ class WorkloadEvaluator(InumCostModel):
         if kernel is None:
             kernel = self.use_kernel
         configurations = [c or Configuration.empty() for c in configurations]
-        mode = "kernel" if kernel else "scalar"
+        if sparse:
+            mode = "sparse"
+        else:
+            mode = "kernel" if kernel else "scalar"
         with obs.tracer().span("evaluate.batch", engine=mode,
                                configurations=len(configurations)):
             t0 = time.perf_counter()
             if kernel:
                 compiled = self._compile(workload, kernel=True)
-                batch = self._evaluate_kernel(compiled, configurations)
+                batch = self._evaluate_kernel(compiled, configurations,
+                                              sparse=sparse)
                 statements = len(compiled.positions)
             else:
                 compiled = self._compile(workload)
@@ -717,7 +761,8 @@ class WorkloadEvaluator(InumCostModel):
         ).totals
 
     def workload_cost_with_usage_batch(self, workload, configurations,
-                                       parent=None, vectorized=None):
+                                       parent=None, vectorized=None,
+                                       sparse=False):
         """Usage-aware evaluation of a batch of configurations.
 
         This is the seam level-wise IBG builds price their frontiers
@@ -745,15 +790,21 @@ class WorkloadEvaluator(InumCostModel):
         t0 = time.perf_counter()
         views, table_sigs = self._kernel_views(compiled, configurations)
         fused = compiled.kernel
+        if sparse:
+            cells, dense = fused.sparse_cells, fused.dense_equiv_cells
         if parent is not None:
             state = self._kernel_state(compiled, parent)
             reads, witnesses = fused.evaluate_deltas_with_usage(
-                state, views, table_sigs, self.slot_cost, self.slot_choice
+                state, views, table_sigs, self.slot_cost, self.slot_choice,
+                sparse=sparse,
             )
         else:
             reads, witnesses = fused.evaluate_many_with_usage(
-                views, table_sigs, self.slot_cost, self.slot_choice
+                views, table_sigs, self.slot_cost, self.slot_choice,
+                sparse=sparse, base_view=self._base_view() if sparse else None,
             )
+        if sparse:
+            self._observe_sparse(fused, cells, dense)
         results = []
         for c, config in enumerate(configurations):
             # Same accumulation the serial walk runs: weighted costs in
@@ -776,7 +827,8 @@ class WorkloadEvaluator(InumCostModel):
             results.append((total, frozenset(used)))
         with self._lock:  # exact even when tenant threads batch at once
             self.evaluations += len(compiled.positions) * len(configurations)
-        self._observe_batch("usage", time.perf_counter() - t0,
+        self._observe_batch("usage-sparse" if sparse else "usage",
+                            time.perf_counter() - t0,
                             len(compiled.positions), len(configurations))
         return results
 

@@ -216,7 +216,9 @@ class _Executor:
 
         if range_filter is not None and range_filter.kind == "in":
             rids = []
-            for v in range_filter.values:
+            # Probe each distinct value once: IN (0, 0) names one window,
+            # and probing it twice would duplicate the matching rows.
+            for v in dict.fromkeys(range_filter.values):
                 if v is None:
                     continue
                 rids.extend(

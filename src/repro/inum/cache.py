@@ -564,43 +564,42 @@ class _DesignView:
         )
 
 
-def _access_cost(slot, bq, catalog, settings, want_choice=False):
-    """Cheapest access path satisfying *slot* under *catalog*; None if the
-    slot cannot be satisfied (e.g. probe slot with no usable index).
+def _consumed(path, slot):
+    # A pipelined LIMIT above the skeleton only consumes slot.scale of
+    # the run cost; the startup (btree descent) is always paid.
+    return path.startup_cost + slot.scale * (
+        path.total_cost - path.startup_cost
+    )
 
-    With ``want_choice`` the return value is ``(cost, winner_indexes)``
-    where the tuple lists the indexes backing the winning path (empty for
-    sequential scans, two entries for a BitmapAnd).
-    """
 
-    def consumed(path):
-        # A pipelined LIMIT above the skeleton only consumes slot.scale of
-        # the run cost; the startup (btree descent) is always paid.
-        return path.startup_cost + slot.scale * (
-            path.total_cost - path.startup_cost
-        )
+def _best_param_access(slot, candidates, want_choice=False):
+    """Winner logic for a parameterized (nested-loop inner) slot over an
+    already-assembled list of parameterized paths."""
 
     def answer(cost, path):
         return (cost, _path_indexes(path)) if want_choice else cost
 
-    if slot.param_columns:
-        candidates = P.parameterized_paths(
-            bq, slot.alias, catalog, settings, slot.param_columns
-        )
-        usable = [
-            p for p in candidates
-            if set(slot.param_columns) <= set(p.param_columns)
-        ] or candidates
-        if not usable:
-            return None
-        winner = min(usable, key=consumed)
-        return answer(consumed(winner) * slot.probes, winner)
+    usable = [
+        p for p in candidates
+        if set(slot.param_columns) <= set(p.param_columns)
+    ] or candidates
+    if not usable:
+        return None
+    winner = min(usable, key=lambda p: _consumed(p, slot))
+    return answer(_consumed(winner, slot) * slot.probes, winner)
 
-    interesting = {slot.required_order} if slot.required_order else set()
-    paths = [
-        p for p in P.scan_paths(bq, slot.alias, catalog, settings, interesting)
-        if p.total_cost < DISABLE_COST / 2
-    ]
+
+def _best_scan_access(slot, raw_paths, settings, want_choice=False):
+    """Winner logic for a scan slot over an already-assembled list of
+    non-parameterized paths (pre DISABLE_COST filtering)."""
+
+    def consumed(path):
+        return _consumed(path, slot)
+
+    def answer(cost, path):
+        return (cost, _path_indexes(path)) if want_choice else cost
+
+    paths = [p for p in raw_paths if p.total_cost < DISABLE_COST / 2]
     if not paths:
         return None
     if slot.required_order is None:
@@ -626,6 +625,25 @@ def _access_cost(slot, bq, catalog, settings, want_choice=False):
     if sorted_cost < best:
         return answer(sorted_cost, cheapest)
     return answer(best, winner)
+
+
+def _access_cost(slot, bq, catalog, settings, want_choice=False):
+    """Cheapest access path satisfying *slot* under *catalog*; None if the
+    slot cannot be satisfied (e.g. probe slot with no usable index).
+
+    With ``want_choice`` the return value is ``(cost, winner_indexes)``
+    where the tuple lists the indexes backing the winning path (empty for
+    sequential scans, two entries for a BitmapAnd).
+    """
+    if slot.param_columns:
+        candidates = P.parameterized_paths(
+            bq, slot.alias, catalog, settings, slot.param_columns
+        )
+        return _best_param_access(slot, candidates, want_choice=want_choice)
+
+    interesting = {slot.required_order} if slot.required_order else set()
+    raw = P.scan_paths(bq, slot.alias, catalog, settings, interesting)
+    return _best_scan_access(slot, raw, settings, want_choice=want_choice)
 
 
 def _path_indexes(path):

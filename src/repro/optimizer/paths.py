@@ -226,33 +226,124 @@ def _output_width(bound_query, alias):
 # ----------------------------------------------------------------------
 
 
-def scan_paths(bound_query, alias, catalog, settings, interesting_columns=()):
-    """All non-parameterized access paths for *alias*."""
+@dataclass
+class ScanContext:
+    """The per-relation inputs shared by every access path of one table
+    reference: geometry, filter set, and output shape.  Computing it once
+    lets a caller price *per-index* path groups incrementally
+    (:func:`index_path_group`, :func:`parameterized_path_for`) without
+    regenerating the whole view's path set — the seam the lazy CoPhy
+    candidate pricer builds on."""
+
+    bound_query: object
+    geometry: RelationGeometry
+    filters: tuple
+    sel_all: float
+    rows_out: float
+    width: int
+
+    @property
+    def table(self):
+        return self.geometry.table
+
+
+def scan_context(bound_query, alias, catalog):
+    """The :class:`ScanContext` for one table reference.
+
+    Only the relation geometry depends on *catalog*, and only through
+    vertical layouts / horizontal partitionings — secondary-index-only
+    overlays (a candidate design view) produce the identical context as
+    the base catalog.
+    """
     geometry = relation_geometry(bound_query, alias, catalog)
     filters = bound_query.filters_for(alias)
-    table = geometry.table
-    sel_all = conjunction_selectivity(filters, table)
+    sel_all = conjunction_selectivity(filters, geometry.table)
     rows_out = max(1.0, geometry.rows * sel_all)
     width = _output_width(bound_query, alias)
-
-    paths = [_sequential_path(bound_query, geometry, filters, settings, rows_out, width)]
-
-    arm_candidates = []  # (index, match) pairs usable as BitmapAnd arms
-    for index in catalog.indexes_on(table.name):
-        match = match_index(index, filters, table)
-        useful_order = match.ordering_columns and match.ordering_columns[0] in interesting_columns
-        if not match.boundary_filters and not useful_order:
-            continue
-        if match.boundary_filters:
-            arm_candidates.append((index, match))
-        paths.extend(
-            _index_paths(
-                bound_query, geometry, index, match, settings, rows_out, width, sel_all
-            )
-        )
-    and_path = _bitmap_and_path(
-        bound_query, geometry, arm_candidates, filters, settings, rows_out, width
+    return ScanContext(
+        bound_query=bound_query,
+        geometry=geometry,
+        filters=filters,
+        sel_all=sel_all,
+        rows_out=rows_out,
+        width=width,
     )
+
+
+def sequential_path(ctx, settings):
+    """The sequential-scan path for one context."""
+    return _sequential_path(
+        ctx.bound_query, ctx.geometry, ctx.filters, settings, ctx.rows_out,
+        ctx.width,
+    )
+
+
+def index_path_group(ctx, index, settings, interesting_columns=()):
+    """One index's non-parameterized paths under *ctx*.
+
+    Returns ``(paths, arm)`` where *arm* is the ``(index, match)`` pair
+    usable as a BitmapAnd arm (or ``None``).  Pure per-index function:
+    the group an index contributes to :func:`scan_paths` is independent
+    of which other indexes the catalog holds (only the combining
+    BitmapAnd path couples indexes).
+    """
+    match = match_index(index, ctx.filters, ctx.table)
+    useful_order = (
+        match.ordering_columns
+        and match.ordering_columns[0] in interesting_columns
+    )
+    if not match.boundary_filters and not useful_order:
+        return [], None
+    arm = (index, match) if match.boundary_filters else None
+    paths = _index_paths(
+        ctx.bound_query, ctx.geometry, index, match, settings, ctx.rows_out,
+        ctx.width, ctx.sel_all,
+    )
+    return paths, arm
+
+
+def bitmap_and_path(ctx, arm_candidates, settings):
+    """The combining BitmapAnd path over *arm_candidates* (or ``None``)."""
+    return _bitmap_and_path(
+        ctx.bound_query, ctx.geometry, arm_candidates, ctx.filters, settings,
+        ctx.rows_out, ctx.width,
+    )
+
+
+def parameterized_path_for(ctx, index, settings, param_columns):
+    """One index's parameterized probe path under *ctx* (or ``None``)."""
+    match = match_index(
+        index, ctx.filters, ctx.table, param_columns=param_columns
+    )
+    if not match.param_columns:
+        return None
+    sel_all = match.boundary_selectivity
+    for f in match.residual_filters:
+        sel_all *= filter_selectivity(f, ctx.table)
+    rows_out = max(1e-9, ctx.geometry.rows * sel_all)
+    return _index_scan_cost(
+        ctx.bound_query,
+        ctx.geometry,
+        index,
+        match,
+        settings,
+        rows_out,
+        ctx.width,
+        parameterized=True,
+    )
+
+
+def scan_paths(bound_query, alias, catalog, settings, interesting_columns=()):
+    """All non-parameterized access paths for *alias*."""
+    ctx = scan_context(bound_query, alias, catalog)
+    paths = [sequential_path(ctx, settings)]
+    arm_candidates = []  # (index, match) pairs usable as BitmapAnd arms
+    for index in catalog.indexes_on(ctx.table.name):
+        group, arm = index_path_group(ctx, index, settings, interesting_columns)
+        if arm is not None:
+            arm_candidates.append(arm)
+        paths.extend(group)
+    and_path = bitmap_and_path(ctx, arm_candidates, settings)
     if and_path is not None:
         paths.append(and_path)
     return paths
@@ -263,31 +354,10 @@ def parameterized_paths(bound_query, alias, catalog, settings, param_columns):
     of an index nested loop).  Costs and rows are per outer probe."""
     if not param_columns:
         return []
-    geometry = relation_geometry(bound_query, alias, catalog)
-    filters = bound_query.filters_for(alias)
-    table = geometry.table
-    sel_filters = conjunction_selectivity(filters, table)
-    width = _output_width(bound_query, alias)
-
+    ctx = scan_context(bound_query, alias, catalog)
     paths = []
-    for index in catalog.indexes_on(table.name):
-        match = match_index(index, filters, table, param_columns=param_columns)
-        if not match.param_columns:
-            continue
-        sel_all = match.boundary_selectivity
-        for f in match.residual_filters:
-            sel_all *= filter_selectivity(f, table)
-        rows_out = max(1e-9, geometry.rows * sel_all)
-        path = _index_scan_cost(
-            bound_query,
-            geometry,
-            index,
-            match,
-            settings,
-            rows_out,
-            width,
-            parameterized=True,
-        )
+    for index in catalog.indexes_on(ctx.table.name):
+        path = parameterized_path_for(ctx, index, settings, param_columns)
         if path is not None:
             paths.append(path)
     return paths
