@@ -1,0 +1,155 @@
+"""CL-REMOTE — cold warm-up through the distributed costing backplane.
+
+The :class:`~repro.net.RemoteBackplane` claim: fanning cold INUM cache
+builds across a fleet of runner nodes — each a separate ``python -m
+repro runner`` process reached over the socket transport, holding its
+own catalog rebuilt from the one-time catalog shipment, answering with
+wire-format plan terms — scales warm-up across machines exactly the way
+the process pool scales it across cores, and the transport adds nothing
+to the results.
+
+Method: the same 50-query SDSS cross-match workload as CL-PROC (the
+expensive-build shape, ~12 plans per query).  Cold caches each leg.
+
+* single-node: ``WorkloadEvaluator.warm_up`` on a fresh evaluator;
+* runner fleet: ``RemoteBackplane.warm_up`` on a fresh evaluator
+  against **two loopback runner subprocesses** (timing includes the
+  handshake and catalog shipment — the honest cold cost; runner
+  process start-up happens before the clock, as a real fleet is
+  standing before work arrives).
+
+The fleet must be at least 1.5x faster on ≥2 idle cores, and the
+installed entries must be **bit-identical** to the single-node pool,
+entry for entry — the network moves plan terms, it never changes them.
+
+Like the other claim benches, the wall-clock floor is relaxable for
+noisy or undersized CI hardware (``REMOTE_BACKPLANE_SPEEDUP_FLOOR=0``
+checks only the equivalence invariants); on fewer cores than runners
+the floor is skipped automatically.
+"""
+
+import os
+import random
+import re
+import subprocess
+import sys
+import time
+
+from repro.evaluation import WorkloadEvaluator
+from repro.net import RemoteBackplane
+from repro.workloads import sdss_catalog, sdss_workload
+
+from conftest import print_table
+
+QUERIES = 50
+RUNNERS = 2
+SPEEDUP_FLOOR = float(os.environ.get("REMOTE_BACKPLANE_SPEEDUP_FLOOR", "1.5"))
+
+
+def cross_match(rng):
+    """A three-way spectroscopic cross-match — the heavy-build shape."""
+    return (
+        "SELECT p.objid, s.z, n.distance "
+        "FROM photoobj p, specobj s, neighbors n "
+        "WHERE p.objid = s.bestobjid AND p.objid = n.objid "
+        "AND s.z > %.3f AND n.distance < %.4f AND p.rmag < %.2f "
+        "ORDER BY p.ra LIMIT 500"
+        % (
+            rng.uniform(0.0, 5.0),
+            rng.uniform(0.005, 0.08),
+            rng.uniform(18.0, 23.0),
+        )
+    )
+
+
+def environment():
+    catalog = sdss_catalog(scale=0.05)
+    rng = random.Random(17)
+    workload = [cross_match(rng) for __ in range(QUERIES)]
+    return catalog, workload
+
+
+def spawn_runners(count):
+    """Start *count* loopback runner subprocesses; returns
+    ``(processes, addresses)`` once every node has printed its bound
+    address (i.e. is accepting connections)."""
+    processes, addresses = [], []
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH"), os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "src",
+        )) if p
+    )
+    for __ in range(count):
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "runner",
+             "--listen", "127.0.0.1:0"],
+            stdout=subprocess.PIPE, text=True, env=env,
+        )
+        processes.append(proc)
+        line = proc.stdout.readline()
+        match = re.search(r"listening on (\S+)", line)
+        if not match:
+            raise RuntimeError("runner failed to start: %r" % (line,))
+        addresses.append(match.group(1))
+    return processes, addresses
+
+
+def test_claim_remote_backplane_warm_up():
+    catalog, workload = environment()
+
+    # Untimed priming: imports, parser tables, catalog stats.
+    WorkloadEvaluator(catalog).warm_up(sdss_workload(n_queries=2, seed=1))
+
+    single = WorkloadEvaluator(catalog)
+    t0 = time.perf_counter()
+    single_calls = single.warm_up(workload)
+    t_single = time.perf_counter() - t0
+
+    processes, addresses = spawn_runners(RUNNERS)
+    try:
+        remote = WorkloadEvaluator(catalog)
+        t0 = time.perf_counter()
+        with RemoteBackplane(remote, addresses, retries=1) as backplane:
+            remote_calls = backplane.warm_up(workload)
+        t_remote = time.perf_counter() - t0
+    finally:
+        for proc in processes:
+            proc.terminate()
+        for proc in processes:
+            proc.wait(timeout=10)
+
+    speedup = t_single / max(t_remote, 1e-9)
+    print_table(
+        "CL-REMOTE: cold warm_up, %d queries (%d runner nodes, %s cores)"
+        % (QUERIES, RUNNERS, os.cpu_count()),
+        ("method", "seconds", "builds", "entries"),
+        [
+            ("single node", t_single, single_calls, len(single.pool)),
+            ("runner fleet", t_remote, remote_calls, len(remote.pool)),
+        ],
+    )
+
+    # Equivalence invariants gate everywhere, floor or not: the fleet
+    # moves plan terms over sockets, it never changes them.
+    assert remote_calls == single_calls
+    assert set(remote.pool.signatures()) == set(single.pool.signatures())
+    for signature in single.pool.signatures():
+        ours = remote.pool.get(signature)
+        theirs = single.pool.get(signature)
+        assert ours.plans == theirs.plans, (
+            "socket-shipped plan terms diverged for %r" % (signature,)
+        )
+        assert ours.bound_query.sql == theirs.bound_query.sql
+
+    if (os.cpu_count() or 1) < RUNNERS:
+        print(
+            "only %s core(s) < %d runners: wall-clock floor skipped "
+            "(equivalence asserted above)" % (os.cpu_count(), RUNNERS)
+        )
+        return
+    assert speedup >= SPEEDUP_FLOOR, (
+        "runner-fleet warm_up must be at least %.1fx the single-node "
+        "cold build (got %.2fx)" % (SPEEDUP_FLOOR, speedup)
+    )

@@ -7,6 +7,8 @@
     python -m repro stream     [--phase-length N] [--refresh-every N]
     python -m repro serve      [--tenants N] [--shards N] [--state-dir DIR]
                                [--snapshot-interval N] [--offload N]
+                               [--runners HOST:PORT,...] [--staleness K]
+    python -m repro runner     [--listen HOST:PORT]
     python -m repro explain    --sql "SELECT ..."
 
 Each subcommand prints the same panels the demo UI shows (benefit tables,
@@ -15,8 +17,10 @@ tenant's streaming session (ingest + drift detection + periodic design
 refreshes); ``serve`` simulates the multi-tenant service: a mixed
 SDSS/TPC-H tenant fleet advancing as resumable steps on the cooperative
 scheduler over sharded, shared cache pools — with periodic pause-point
-snapshots (``--snapshot-interval``) and optional process offload of
-INUM cache builds (``--offload``).
+snapshots (``--snapshot-interval``) and optional offload of INUM cache
+builds, either to worker processes (``--offload``) or across a fleet of
+``runner`` nodes (``--runners``, with a bounded-staleness cache lease
+per node; ``runner`` serves one such node).
 """
 
 import argparse
@@ -153,6 +157,23 @@ def build_parser():
         "either way)",
     )
     serve.add_argument(
+        "--runners", default=None,
+        help="offload INUM cache builds to a fleet of runner nodes "
+        "(comma-separated host:port list, each started with "
+        "'python -m repro runner'); mutually exclusive with --offload; "
+        "results are identical to inline execution",
+    )
+    serve.add_argument(
+        "--staleness", type=int, default=0,
+        help="runner cache-lease staleness budget in epochs: entries "
+        "older than this are refreshed before serving (0 = exact-replay "
+        "mode, nothing from an earlier epoch is reused)",
+    )
+    serve.add_argument(
+        "--remote-timeout", type=float, default=30.0,
+        help="per-request timeout in seconds against each runner node",
+    )
+    serve.add_argument(
         "--metrics-port", type=int, default=None,
         help="serve the telemetry backplane over HTTP on 127.0.0.1:PORT "
         "(GET /metrics Prometheus text, /trace span JSON, /status "
@@ -167,6 +188,15 @@ def build_parser():
         "--format", choices=("text", "json"), default="text",
         help="final status output: the terminal panel (text) or the "
         "full status()+registry snapshot as JSON (for scripting)",
+    )
+
+    runner = sub.add_parser(
+        "runner", help="serve as a remote costing node for serve --runners"
+    )
+    runner.add_argument(
+        "--listen", default="127.0.0.1:0",
+        help="host:port to listen on (port 0 binds an ephemeral port; "
+        "the bound address is printed on startup)",
     )
 
     explain = sub.add_parser("explain", help="EXPLAIN one SQL statement")
@@ -218,6 +248,22 @@ def main(argv=None, out=sys.stdout):
 
 
 def _dispatch(args, out):
+    if args.command == "runner":
+        # A runner is workload-agnostic — each connection ships its own
+        # catalog — so skip the environment build entirely.
+        from repro.net import RunnerNode, parse_listen_address
+
+        host, port = parse_listen_address(args.listen)
+        node = RunnerNode(host=host, port=port, ship_obs=True).start()
+        print("runner listening on %s" % node.address, file=out, flush=True)
+        try:
+            node.wait()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            node.stop()
+        return 0
+
     catalog, workload = load_environment(args)
 
     if args.command == "describe":
@@ -360,25 +406,45 @@ def _dispatch(args, out):
             if args.max_events:
                 stream = itertools.islice(stream, args.max_events)
             streams[name] = stream
-        # Warm only backplanes a tenant will actually stream against
-        # (--tenants 1 leaves the TPC-H backplane empty).
-        active = {key for key in mixes
-                  if service.backplane(key).tenants}
-        for key in active:
-            phases_fn, seed = mixes[key]
-            service.warm_up(
-                key,
-                [sql for __, sql in
-                 drifting_stream(phases_fn(args.phase_length), seed=seed)],
-            )
-        # A --max-events run is a simulated shutdown: leave epochs open
-        # (no final refresh) so the next invocation resumes seamlessly.
         executor = None
-        if args.offload and args.offload > 1:
+        if args.runners and args.offload and args.offload > 1:
+            raise ReproError(
+                "--runners and --offload are mutually exclusive: pick "
+                "process offload or the runner fleet"
+            )
+        if args.runners:
+            from repro.runtime import RemoteStepExecutor
+
+            executor = RemoteStepExecutor(
+                [addr.strip() for addr in args.runners.split(",")
+                 if addr.strip()],
+                staleness=args.staleness,
+                timeout=args.remote_timeout,
+            )
+        elif args.offload and args.offload > 1:
             from repro.runtime import ProcessStepExecutor
 
             executor = ProcessStepExecutor(processes=args.offload)
         try:
+            # Warm only backplanes a tenant will actually stream against
+            # (--tenants 1 leaves the TPC-H backplane empty).  With an
+            # executor the pre-warm builds are offloaded through the
+            # same refill seam run_scheduled uses — across worker
+            # processes or the runner fleet — with identical entries.
+            active = {key for key in mixes
+                      if service.backplane(key).tenants}
+            for key in active:
+                phases_fn, seed = mixes[key]
+                service.warm_up(
+                    key,
+                    [sql for __, sql in
+                     drifting_stream(phases_fn(args.phase_length),
+                                     seed=seed)],
+                    executor=executor,
+                )
+            # A --max-events run is a simulated shutdown: leave epochs
+            # open (no final refresh) so the next invocation resumes
+            # seamlessly.
             service.run_scheduled(
                 streams,
                 executor=executor,

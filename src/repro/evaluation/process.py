@@ -44,10 +44,63 @@ from repro.catalog.serialize import (
 from repro.evaluation import wire
 from repro.util import DesignError, workload_pairs
 
-__all__ = ["ProcessPoolBackplane"]
+__all__ = ["ProcessPoolBackplane", "perform_warm", "perform_evaluate"]
 
 # Per-worker-process state, installed once by _init_worker.
 _WORKER_EVALUATOR = None
+
+
+# ----------------------------------------------------------------------
+# The task-execution seam: what one offloaded task *does*, independent
+# of how it arrived.  Both worker surfaces — the multiprocessing pool
+# below and the network runner (:mod:`repro.net.runner`) — execute
+# tasks through these two functions, so the local and remote backplanes
+# cannot drift in what a warm or evaluate task means.
+# ----------------------------------------------------------------------
+
+
+def perform_warm(evaluator, sql, locate, ctx=None):
+    """Build one statement's INUM cache on *evaluator*.
+
+    ``locate`` marks a shipped write statement whose locate query (the
+    synthetic SELECT pricing UPDATE/DELETE row location) must be
+    re-derived on this side, mirroring ``wire.entry_from_wire``.
+    ``ctx`` is the dispatching span's ``(trace_id, span_id)``, so this
+    worker's spans stitch into the parent's trace.  Returns the built
+    ``(signature, cache)`` pair."""
+    from repro.optimizer.writecost import locate_query
+
+    with obs.tracer().span("worker.warm_up", remote_parent=ctx,
+                           locate=locate):
+        bq = evaluator.bound(sql)
+        if locate:
+            bq = locate_query(bq)
+        cache = evaluator.cache_for(bq)
+        signature = evaluator.signature(bq)
+    return signature, cache
+
+
+def perform_evaluate(evaluator, sqls, configurations, ctx=None):
+    """Price *sqls* against every configuration on *evaluator*.
+
+    Returns ``(columns, built)``: one cost column (cost under each
+    configuration, in configuration order) per statement, plus the
+    signatures of every cache entry this evaluation built — the entries
+    a backplane ships home so the parent's pool is warmed as a side
+    effect, exactly like the in-process path."""
+    with obs.tracer().span("worker.evaluate", remote_parent=ctx,
+                           statements=len(sqls)):
+        before = set(evaluator.pool.signatures())
+        batch = evaluator.evaluate_configurations(sqls, configurations)
+        built = [
+            signature for signature in evaluator.pool.signatures()
+            if signature not in before
+        ]
+        columns = [
+            [batch.matrix[c][s] for c in range(len(configurations))]
+            for s in range(len(sqls))
+        ]
+    return columns, built
 
 
 def _init_worker(catalog_payload, settings, pool_capacity):
@@ -86,54 +139,30 @@ def _obs_shipment():
 
 
 def _warm_task(task):
-    """Build one query's INUM cache; return it as a wire entry plus the
-    worker's telemetry shipment.
+    """Build one query's INUM cache (via the shared seam); return it as
+    a wire entry plus the worker's telemetry shipment.
 
-    ``task`` is ``(sql, locate, ctx)``: locate targets ship the
-    originating write statement (their own text is synthetic) and the
-    worker re-derives the locate query, mirroring
-    ``wire.entry_from_wire``; ``ctx`` is the dispatching span's
-    ``(trace_id, span_id)``, so the worker's spans stitch into the
-    parent's trace."""
-    from repro.optimizer.writecost import locate_query
-
+    ``task`` is ``(sql, locate, ctx)`` — see :func:`perform_warm`."""
     sql, locate, ctx = task
-    evaluator = _WORKER_EVALUATOR
-    with obs.tracer().span("worker.warm_up", remote_parent=ctx, locate=locate):
-        bq = evaluator.bound(sql)
-        if locate:
-            bq = locate_query(bq)
-        cache = evaluator.cache_for(bq)
-        signature = evaluator.signature(bq)
+    signature, cache = perform_warm(_WORKER_EVALUATOR, sql, locate, ctx)
     return wire.dumps(wire.entry_to_wire(signature, cache)), _obs_shipment()
 
 
 def _evaluate_task(task):
-    """Price a chunk of statements against every configuration.
+    """Price a chunk of statements against every configuration (via the
+    shared seam).
 
     Returns ``(start, columns, entries, obs_text)``: the chunk's offset
-    in the statement order, one cost column (cost under each
-    configuration) per statement, the wire entries for every cache the
-    chunk built — so the parent's pool is warmed as a side effect,
-    exactly like the in-process path — and the worker's telemetry
+    in the statement order, the per-statement cost columns, the wire
+    entries for every cache the chunk built, and the worker's telemetry
     shipment."""
     start, sqls, config_payloads, ctx = task
-    evaluator = _WORKER_EVALUATOR
     configurations = [
         configuration_from_dict(payload) for payload in config_payloads
     ]
-    with obs.tracer().span("worker.evaluate", remote_parent=ctx,
-                           statements=len(sqls)):
-        before = set(evaluator.pool.signatures())
-        batch = evaluator.evaluate_configurations(sqls, configurations)
-        built = [
-            signature for signature in evaluator.pool.signatures()
-            if signature not in before
-        ]
-        columns = [
-            [batch.matrix[c][s] for c in range(len(configurations))]
-            for s in range(len(sqls))
-        ]
+    columns, built = perform_evaluate(
+        _WORKER_EVALUATOR, sqls, configurations, ctx
+    )
     return start, columns, _entries_for(built), _obs_shipment()
 
 

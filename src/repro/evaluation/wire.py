@@ -52,6 +52,11 @@ __all__ = [
     "KIND_TENANT",
     "KIND_SERVICE",
     "KIND_OBS",
+    "KIND_HELLO",
+    "KIND_CATALOG",
+    "KIND_TASK",
+    "KIND_RESULT",
+    "KIND_ERROR",
     "obs_to_wire",
     "obs_from_wire",
     "signature_to_wire",
@@ -69,17 +74,32 @@ __all__ = [
     "check_version",
 ]
 
-# Version 3: telemetry deltas (counter/histogram movement plus finished
-# spans from worker processes) are a first-class payload kind, so traces
-# stitch across the process backplane.  Version 2 added scheduler state
-# (per-tenant pending event buffers) to service snapshots; version-1
-# payloads predate the cooperative runtime.
-WIRE_VERSION = 3
+# Version 4: the network transport's frame kinds (handshake hello,
+# catalog shipment, task, result, error — see :mod:`repro.net.frames`)
+# join the format, so a runner fleet negotiates compatibility at the
+# handshake: every frame is version-stamped and a mismatched peer is
+# rejected with :class:`WireFormatError` before any task is exchanged.
+# Version 3 made telemetry deltas (counter/histogram movement plus
+# finished spans from worker processes) a first-class payload kind, so
+# traces stitch across the process backplane.  Version 2 added scheduler
+# state (per-tenant pending event buffers) to service snapshots;
+# version-1 payloads predate the cooperative runtime.
+WIRE_VERSION = 4
 
 KIND_ENTRY = "inum-cache-entry"
 KIND_TENANT = "tenant-session"
 KIND_SERVICE = "tuning-service"
 KIND_OBS = "obs-delta"
+
+# Network-transport frame kinds (:mod:`repro.net`).  These never appear
+# inside files — they are connection-scoped messages — but they share
+# the envelope (and therefore the version negotiation) with every other
+# payload, so one WIRE_VERSION governs the whole distributed surface.
+KIND_HELLO = "net-hello"
+KIND_CATALOG = "net-catalog"
+KIND_TASK = "net-task"
+KIND_RESULT = "net-result"
+KIND_ERROR = "net-error"
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,35 @@
+"""The network transport: a costing fleet over sockets.
+
+``repro.net`` extends the wire format across machines: the same
+versioned payloads that move cache entries between processes
+(:mod:`repro.evaluation.wire`) travel here as length-prefixed frames
+(:mod:`repro.net.frames`) between a :class:`RemoteBackplane` and a
+fleet of :class:`RunnerNode` workers — catalog shipped once per
+connection, SQL out, plan terms and telemetry deltas back, wire version
+negotiated at the handshake.  Bounded staleness (per-connection cache
+leases with a configurable epoch budget; ``staleness=0`` is exact
+replay) keeps a long-lived fleet's derived state from drifting
+arbitrarily far from the coordinator's.
+"""
+
+from repro.net.client import RemoteBackplane, RunnerConnection
+from repro.net.frames import (
+    MAX_FRAME_BYTES,
+    TruncatedFrameError,
+    error_frame,
+    recv_frame,
+    send_frame,
+)
+from repro.net.runner import RunnerNode, parse_listen_address
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "RemoteBackplane",
+    "RunnerConnection",
+    "RunnerNode",
+    "TruncatedFrameError",
+    "error_frame",
+    "parse_listen_address",
+    "recv_frame",
+    "send_frame",
+]

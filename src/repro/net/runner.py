@@ -1,0 +1,397 @@
+"""The runner node: one remote worker in the costing fleet.
+
+``python -m repro runner --listen host:port`` runs this loop; a
+:class:`~repro.net.client.RemoteBackplane` on another box connects and
+fans warm-up / batch-evaluation tasks at it.  Per connection the
+protocol is:
+
+1. **hello** — the client's version-stamped handshake; a mismatched
+   wire version is answered with an error frame (``wire_error=True``,
+   so the client raises :class:`~repro.util.WireFormatError`) and the
+   connection is dropped before any state is built;
+2. **catalog** — shipped exactly once: the serialized catalog dict,
+   planner settings, pool capacity, and the connection's *staleness
+   budget*.  The runner rebuilds its own catalog (statistics rebuild
+   deterministically) and stands up a private
+   :class:`~repro.evaluation.WorkloadEvaluator` — the connection's
+   cache lease;
+3. **tasks** — ``warm`` / ``evaluate`` frames, executed through the
+   same seam the process backplane uses
+   (:func:`~repro.evaluation.process.perform_warm` /
+   :func:`~repro.evaluation.process.perform_evaluate`), each answered
+   with a result frame carrying wire cache entries, the runner's
+   telemetry shipment (``KIND_OBS`` deltas, spans stitched via
+   ``remote_parent``), and the lease's cache-age accounting.
+
+**Bounded staleness** (the stale-synchronous trade): every task frame
+carries the client's current *epoch*; a resident entry built more than
+``staleness`` epochs ago is force-refreshed before it may serve the
+task, and entries at or under the budget are served as-is.  Entry
+builds are pure functions of (SQL, catalog, settings), so a
+bounded-stale entry prices *bit-identically* to a fresh one here — the
+budget bounds how far the lease may lag a hypothetical
+statistics-refresh cycle, and ``staleness=0`` is the exact-replay mode:
+nothing built in an earlier epoch is ever reused, pinning the run to a
+single-node replay.
+
+The node serves each connection on its own daemon thread and keeps all
+per-lease state connection-scoped, so concurrent clients (or one client
+with several backplanes) never share caches or epochs.
+"""
+
+import socket
+import threading
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.catalog.serialize import catalog_from_dict, configuration_from_dict
+from repro.evaluation import wire
+from repro.evaluation.process import perform_evaluate, perform_warm
+from repro.inum.cache import build_cache
+from repro.net.frames import error_frame, recv_frame, send_frame
+from repro.optimizer.settings import PlannerSettings
+from repro.optimizer.writecost import locate_query
+from repro.util import TransportError, WireFormatError
+
+__all__ = ["RunnerNode", "parse_listen_address"]
+
+
+def parse_listen_address(text, default_host="127.0.0.1"):
+    """``host:port`` (or bare ``:port`` / ``port``) -> ``(host, port)``."""
+    host, sep, port = str(text).rpartition(":")
+    if not sep:
+        host, port = default_host, text
+    try:
+        return (host or default_host), int(port)
+    except (TypeError, ValueError):
+        raise WireFormatError(
+            "bad listen address %r (expected host:port)" % (text,)
+        ) from None
+
+
+@dataclass
+class _Lease:
+    """One connection's private costing state: the evaluator plus the
+    bounded-staleness bookkeeping for every entry it has built."""
+
+    evaluator: object
+    staleness: int = 0
+    entry_epoch: dict = field(default_factory=dict)  # signature -> epoch
+    stale_refreshes: int = 0
+
+    def enforce(self, targets, epoch):
+        """Force-refresh every resident entry among *targets* (pairs of
+        ``(sql, locate)``) whose age exceeds the staleness budget.  A
+        rebuilt entry's kernel is dropped by the overwriting ``put``, so
+        derived state never outlives the lease either."""
+        evaluator = self.evaluator
+        for sql, locate in targets:
+            bq = evaluator.bound(sql)
+            if locate:
+                bq = locate_query(bq)
+            signature = evaluator.signature(bq)
+            built = self.entry_epoch.get(signature)
+            if (
+                built is not None
+                and epoch - built > self.staleness
+                and signature in evaluator.pool
+            ):
+                cache = build_cache(
+                    bq, evaluator.catalog, evaluator.settings
+                )
+                evaluator.pool.put(signature, cache)
+                self.entry_epoch[signature] = epoch
+                self.stale_refreshes += 1
+                obs.metrics().counter(
+                    "repro_runner_stale_refresh_total",
+                    "Lease entries rebuilt after exceeding the "
+                    "staleness budget",
+                ).inc()
+
+    def stamp(self, signatures, epoch):
+        """Record the build epoch of freshly built entries (existing
+        stamps — older builds still inside the budget — are kept, so
+        ages keep growing until a refresh resets them)."""
+        for signature in signatures:
+            self.entry_epoch.setdefault(signature, epoch)
+
+    def cache_ages(self, epoch):
+        """The lease's age accounting at *epoch*, for the result frame:
+        resident-entry count, max/mean age in epochs, refresh total."""
+        ages = [
+            epoch - built
+            for signature, built in self.entry_epoch.items()
+            if signature in self.evaluator.pool
+        ]
+        mean = (sum(ages) / len(ages)) if ages else 0.0
+        return {
+            "entries": len(ages),
+            "age_max": max(ages, default=0),
+            "age_mean": mean,
+            "stale_refreshes": self.stale_refreshes,
+        }
+
+
+class RunnerNode:
+    """Listen for backplane connections and serve costing tasks.
+
+    ``ship_obs=True`` drains this process's telemetry registry into
+    every result frame (counter/histogram deltas + finished spans) — the
+    mode ``python -m repro runner`` uses, where the registry belongs to
+    the runner process alone.  Leave it off for in-process (threaded)
+    runners, whose registry is shared with the host and must not be
+    drained out from under it.
+
+    ``fail_after_tasks`` is the failure-injection hook the transport
+    tests use: after serving that many task frames (across the node's
+    lifetime) the node abruptly closes every connection mid-protocol
+    and refuses new ones — a deterministic stand-in for a runner dying
+    mid-batch.
+    """
+
+    def __init__(self, host="127.0.0.1", port=0, ship_obs=False,
+                 fail_after_tasks=None):
+        self.host = host
+        self.port = port
+        self.ship_obs = ship_obs
+        self.fail_after_tasks = fail_after_tasks
+        self.connections_served = 0
+        self.tasks_served = 0
+        self._listener = None
+        self._accept_thread = None
+        self._stopping = False
+        self._lock = threading.Lock()
+        self._open_socks = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self):
+        """``host:port`` once started — what clients dial."""
+        return "%s:%d" % (self.host, self.port)
+
+    def start(self):
+        """Bind and serve on a background thread; returns self with
+        ``port`` holding the bound (possibly ephemeral) port."""
+        if self._listener is not None:
+            raise TransportError("RunnerNode already started")
+        self._listener = socket.create_server(
+            (self.host, self.port), reuse_port=False
+        )
+        self.port = self._listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop,
+            name="repro-runner-%d" % self.port,
+            daemon=True,
+        )
+        self._accept_thread.start()
+        return self
+
+    def wait(self):
+        """Block until the node is stopped (the CLI's serve-forever)."""
+        if self._accept_thread is not None:
+            self._accept_thread.join()
+
+    def stop(self):
+        """Close the listener and every open connection; idempotent."""
+        self._stopping = True
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            socks = list(self._open_socks)
+        for sock in socks:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc_info):
+        self.stop()
+
+    @property
+    def open_connections(self):
+        with self._lock:
+            return len(self._open_socks)
+
+    def _dead(self):
+        return (
+            self.fail_after_tasks is not None
+            and self.tasks_served >= self.fail_after_tasks
+        )
+
+    # ------------------------------------------------------------------
+    # The accept / serve loops.
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self):
+        listener = self._listener
+        while not self._stopping:
+            try:
+                sock, __ = listener.accept()
+            except OSError:
+                break  # listener closed by stop()
+            if self._dead():
+                sock.close()
+                continue
+            with self._lock:
+                self._open_socks.add(sock)
+            self.connections_served += 1
+            threading.Thread(
+                target=self._serve_connection,
+                args=(sock,),
+                name="repro-runner-conn",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, sock):
+        try:
+            self._converse(sock)
+        except (TransportError, OSError):
+            pass  # peer went away; nothing to answer
+        except WireFormatError as exc:
+            self._try_reply(sock, error_frame(exc, wire_error=True))
+        except Exception as exc:  # never kill the node for one client
+            self._try_reply(sock, error_frame(exc))
+        finally:
+            with self._lock:
+                self._open_socks.discard(sock)
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _converse(self, sock):
+        # Handshake: validate the client's version ourselves so a
+        # mismatch is *answered* (error frame, wire_error) instead of
+        # silently dropped — that reply is what turns into the client's
+        # WireFormatError.
+        hello = recv_frame(sock, check_version=False)
+        if hello.get("kind") == wire.KIND_ERROR:
+            return
+        try:
+            wire.check_version(hello)
+        except WireFormatError as exc:
+            self._try_reply(sock, error_frame(exc, wire_error=True))
+            return
+        if hello.get("kind") != wire.KIND_HELLO:
+            raise WireFormatError(
+                "expected %r handshake, got %r"
+                % (wire.KIND_HELLO, hello.get("kind"))
+            )
+        send_frame(sock, {"kind": wire.KIND_HELLO, "role": "runner"})
+
+        lease = self._build_lease(recv_frame(sock))
+        send_frame(sock, {"kind": wire.KIND_RESULT, "op": "catalog"})
+
+        while True:
+            frame = recv_frame(sock)  # TransportError on clean EOF
+            if frame.get("kind") != wire.KIND_TASK:
+                raise WireFormatError(
+                    "expected %r frame, got %r"
+                    % (wire.KIND_TASK, frame.get("kind"))
+                )
+            self.tasks_served += 1
+            if self._dead():
+                # Failure injection: die mid-protocol, no reply.
+                sock.close()
+                return
+            send_frame(sock, self._handle_task(lease, frame))
+
+    def _build_lease(self, frame):
+        if frame.get("kind") != wire.KIND_CATALOG:
+            raise WireFormatError(
+                "expected %r frame before any task, got %r"
+                % (wire.KIND_CATALOG, frame.get("kind"))
+            )
+        from repro.evaluation.evaluator import WorkloadEvaluator
+        from repro.evaluation.pool import InumCachePool
+
+        catalog = catalog_from_dict(frame["catalog"])
+        settings = None
+        if frame.get("settings") is not None:
+            settings = PlannerSettings(**frame["settings"])
+        evaluator = WorkloadEvaluator(
+            catalog,
+            settings,
+            pool=InumCachePool(capacity=frame.get("pool_capacity")),
+        )
+        return _Lease(
+            evaluator=evaluator,
+            staleness=max(0, int(frame.get("staleness", 0))),
+        )
+
+    # ------------------------------------------------------------------
+    # Task execution.
+    # ------------------------------------------------------------------
+
+    def _handle_task(self, lease, frame):
+        op = frame.get("op")
+        epoch = int(frame.get("epoch", 0))
+        ctx = frame.get("ctx")
+        if ctx is not None:
+            ctx = tuple(ctx)
+        evaluator = lease.evaluator
+        if op == "warm":
+            sql, locate = frame["sql"], bool(frame.get("locate"))
+            lease.enforce([(sql, locate)], epoch)
+            signature, cache = perform_warm(evaluator, sql, locate, ctx)
+            lease.stamp([signature], epoch)
+            reply = {
+                "kind": wire.KIND_RESULT,
+                "op": "warm",
+                "entry": wire.entry_to_wire(signature, cache),
+            }
+        elif op == "evaluate":
+            sqls = list(frame["sqls"])
+            configurations = [
+                configuration_from_dict(payload)
+                for payload in frame["configurations"]
+            ]
+            lease.enforce(
+                [
+                    (source, locate)
+                    for __, source, locate in evaluator.warm_targets(sqls)
+                ],
+                epoch,
+            )
+            columns, built = perform_evaluate(
+                evaluator, sqls, configurations, ctx
+            )
+            lease.stamp(built, epoch)
+            reply = {
+                "kind": wire.KIND_RESULT,
+                "op": "evaluate",
+                "start": frame.get("start", 0),
+                "columns": columns,
+                "entries": [
+                    wire.entry_to_wire(sig, evaluator.pool.get(sig))
+                    for sig in built
+                    if sig in evaluator.pool
+                ],
+            }
+        else:
+            raise WireFormatError("unknown task op %r" % (op,))
+        reply["cache"] = lease.cache_ages(epoch)
+        reply["obs"] = (
+            wire.obs_to_wire(obs.drain_deltas()) if self.ship_obs else None
+        )
+        return reply
+
+    @staticmethod
+    def _try_reply(sock, payload):
+        try:
+            send_frame(sock, payload)
+        except OSError:
+            pass

@@ -13,10 +13,14 @@ backplane — reports into the state this module owns:
   twins: the uninstrumented baseline the overhead benchmark pins
   against (``bench_claim_obs_overhead.py`` keeps instrumented kernel
   evaluation and fleet ingest within a few percent of this);
-* :func:`drain_deltas` / :func:`ingest_deltas` — the worker-process
-  shipment: counter/histogram movement since the last drain plus the
-  finished spans, JSON-safe, carried as a versioned wire-format
-  section (:func:`repro.evaluation.wire.obs_to_wire`).
+* :func:`drain_deltas` / :func:`ingest_deltas` — the worker shipment:
+  counter/histogram movement since the last drain plus the finished
+  spans, JSON-safe, carried as a versioned wire-format section
+  (:func:`repro.evaluation.wire.obs_to_wire`).  Both the process
+  backplane and the network runner fleet (:mod:`repro.net`) ship
+  through this seam, so remote spans stitch into the coordinator's
+  traces and the fleet's health (``repro_remote_*`` counters, per-node
+  cache-age and reconcile-lag gauges) lands in one registry.
 
 Instrumentation always resolves the state *at call time*
 (``obs.metrics()`` / ``obs.tracer()``), never caches it at import, so

@@ -11,9 +11,12 @@ explicit, pausable run-queue:
   priority-aware dispatch, per-tenant backpressure, pause-point
   snapshots;
 * :mod:`repro.runtime.executor` — the executor seam:
-  :class:`StepExecutor` (inline) and :class:`ProcessStepExecutor`
+  :class:`StepExecutor` (inline), :class:`ProcessStepExecutor`
   (cache builds offloaded to a reusable
-  :class:`~repro.evaluation.ProcessPoolBackplane` per backplane).
+  :class:`~repro.evaluation.ProcessPoolBackplane` per backplane), and
+  :class:`RemoteStepExecutor` (the same builds fanned across a
+  :class:`~repro.net.RunnerNode` fleet with bounded-staleness cache
+  leases).
 
 Every step runs inline, so scheduler-driven ingest is bit-identical to
 the thread-loop path; executors only move *cache builds* in time and
@@ -21,12 +24,17 @@ across processes, which is results-neutral by construction (and pinned
 in the test suite).
 """
 
-from repro.runtime.executor import ProcessStepExecutor, StepExecutor
+from repro.runtime.executor import (
+    ProcessStepExecutor,
+    RemoteStepExecutor,
+    StepExecutor,
+)
 from repro.runtime.scheduler import Scheduler
 from repro.runtime.steps import Step, TenantTask, event_sql
 
 __all__ = [
     "ProcessStepExecutor",
+    "RemoteStepExecutor",
     "Scheduler",
     "Step",
     "StepExecutor",

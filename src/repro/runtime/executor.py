@@ -19,12 +19,18 @@ elsewhere, or not at all never changes a result — only wall-clock time.
   plan terms — before the step prices them inline, so epoch-closing
   scoring and refresh sweeps start on prewarmed *compiled* kernels,
   not raw caches.
+* :class:`RemoteStepExecutor` — the same seam across machines: cache
+  builds fan out to a fleet of :class:`~repro.net.RunnerNode` workers
+  through a per-evaluator :class:`~repro.net.RemoteBackplane`, with a
+  bounded staleness budget on the runners' leases and graceful
+  degradation to inline execution when the fleet dies.  Same
+  bit-identical-results contract: only wall-clock time moves.
 """
 
 from repro import obs
 from repro.evaluation.process import ProcessPoolBackplane
 
-__all__ = ["StepExecutor", "ProcessStepExecutor"]
+__all__ = ["StepExecutor", "ProcessStepExecutor", "RemoteStepExecutor"]
 
 
 class StepExecutor:
@@ -85,6 +91,73 @@ class ProcessStepExecutor(StepExecutor):
         observes) prewarm the statements they will price — typically the
         session's sliding window, making this a residency check except
         after pool evictions."""
+        if step.heavy and step.prewarm:
+            with obs.tracer().span("executor.prepare", kind=step.kind,
+                                   statements=len(step.prewarm)):
+                self._backplane(session.evaluator).warm_up(
+                    list(step.prewarm)
+                )
+
+    def close(self):
+        for backplane in self._backplanes.values():
+            backplane.close()
+        self._backplanes.clear()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+class RemoteStepExecutor(StepExecutor):
+    """Offload INUM cache builds to a fleet of runner nodes.
+
+    The network twin of :class:`ProcessStepExecutor`: one
+    :class:`~repro.net.RemoteBackplane` per distinct evaluator, reused
+    across every refill and heavy step.  ``runners`` is the fleet's
+    ``host:port`` list; ``staleness`` is the per-node cache-lease
+    budget in epochs (``0`` = exact-replay mode); ``timeout`` /
+    ``retries`` shape the per-request failure handling.  A fleet that
+    dies entirely degrades each backplane to local execution, so a
+    scheduled run always completes with the single-node answer.
+    """
+
+    def __init__(self, runners, staleness=0, timeout=30.0, retries=3):
+        self.runners = list(runners)
+        self.staleness = staleness
+        self.timeout = timeout
+        self.retries = retries
+        self._backplanes = {}  # id(evaluator) -> RemoteBackplane
+
+    def _backplane(self, evaluator):
+        backplane = self._backplanes.get(id(evaluator))
+        if backplane is None:
+            from repro.net import RemoteBackplane
+
+            backplane = RemoteBackplane(
+                evaluator,
+                self.runners,
+                staleness=self.staleness,
+                timeout=self.timeout,
+                retries=self.retries,
+            )
+            self._backplanes[id(evaluator)] = backplane
+        return backplane
+
+    def refill(self, evaluator, statements):
+        """Warm a freshly buffered batch across the runner fleet (the
+        parent-resident statements are filtered inside the backplane's
+        warm-up, so a warm pool ships nothing)."""
+        if statements:
+            with obs.tracer().span("executor.refill",
+                                   statements=len(statements)):
+                self._backplane(evaluator).warm_up(statements)
+
+    def prepare(self, session, step):
+        """Prewarm a heavy step's statements across the fleet — the
+        same residency-check-or-build contract as the process
+        executor's prepare."""
         if step.heavy and step.prewarm:
             with obs.tracer().span("executor.prepare", kind=step.kind,
                                    statements=len(step.prewarm)):

@@ -20,8 +20,10 @@ small, explicit, and pausable.
   beyond it, and pull-mode refills never read ahead of it.
 * **Executor seam** — refill batches and heavy steps are announced to
   the executor (see :mod:`repro.runtime.executor`) before running, so
-  optimizer-heavy cache builds can move to worker processes while every
-  step still runs inline, bit-identical to the thread-loop path.
+  optimizer-heavy cache builds can move to worker processes
+  (:class:`~repro.runtime.ProcessStepExecutor`) or across a runner
+  fleet (:class:`~repro.runtime.RemoteStepExecutor`) while every step
+  still runs inline, bit-identical to the thread-loop path.
 * **Pause-point snapshots** — every ``snapshot_interval`` ingested
   events the scheduler drains in-flight events to their boundaries
   (buffered events untouched) and invokes ``on_snapshot``; the service

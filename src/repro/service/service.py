@@ -20,7 +20,8 @@ This module is the long-lived service layer over the same components:
   :class:`~repro.runtime.Scheduler` — fair, priority-aware, with
   per-tenant backpressure, pause-point snapshots (``--snapshot-interval``
   in the CLI), and an executor seam that can offload INUM cache builds
-  to a :class:`~repro.evaluation.ProcessPoolBackplane`;
+  to a :class:`~repro.evaluation.ProcessPoolBackplane` or across a
+  :class:`~repro.net.RemoteBackplane` runner fleet;
   :meth:`run_streams` is the thin compatibility shim over it, with
   results pinned bit-identical to the legacy thread-per-tenant loop
   (:meth:`run_streams_threaded`);
@@ -178,11 +179,24 @@ class TuningService:
     # Warm-up and ingest.
     # ------------------------------------------------------------------
 
-    def warm_up(self, backplane, workload, threads=None):
-        """Concurrently pre-build *backplane*'s caches for *workload*."""
+    def warm_up(self, backplane, workload, threads=None, executor=None):
+        """Concurrently pre-build *backplane*'s caches for *workload*.
+
+        With *executor* (a :class:`~repro.runtime.ProcessStepExecutor`
+        or :class:`~repro.runtime.RemoteStepExecutor`) the builds are
+        offloaded through the executor's refill seam — across worker
+        processes or the runner fleet — instead of the local thread
+        pool; the installed entries are bit-identical either way.  The
+        trailing inline pass is a residency check that also covers
+        anything the offload could not ship (and returns the optimizer
+        calls it spent, like the plain path)."""
+        plane = self.backplane(backplane)
+        if executor is not None:
+            executor.refill(plane.evaluator, list(workload))
+            return plane.warm_up(workload, threads=1)
         if threads is None:
             threads = self.warm_threads
-        return self.backplane(backplane).warm_up(workload, threads=threads)
+        return plane.warm_up(workload, threads=threads)
 
     def ingest(self, tenant, event):
         """Feed one query event to *tenant* (the streaming entry point)."""
@@ -237,8 +251,10 @@ class TuningService:
         ``executor`` is the heavy-step seam — ``None`` means inline
         (bit-identical to the thread loop in work *and* placement); a
         :class:`~repro.runtime.ProcessStepExecutor` offloads INUM cache
-        builds to worker processes (bit-identical in results, faster on
-        spare cores).  An executor created here is closed here; a
+        builds to worker processes, a
+        :class:`~repro.runtime.RemoteStepExecutor` fans them across a
+        runner fleet (both bit-identical in results, faster on spare
+        cores or machines).  An executor created here is closed here; a
         caller-provided one is left open for reuse.
 
         ``priorities`` maps tenant name -> stride weight (default 1.0);

@@ -8,6 +8,7 @@ from repro.util.errors import (
     PlanningError,
     DesignError,
     WireFormatError,
+    TransportError,
 )
 from repro.util.maths import align8, ceil_div, clamp, safe_log2
 
@@ -35,6 +36,7 @@ __all__ = [
     "PlanningError",
     "DesignError",
     "WireFormatError",
+    "TransportError",
     "align8",
     "ceil_div",
     "clamp",

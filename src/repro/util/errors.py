@@ -43,3 +43,13 @@ class DesignError(ReproError):
 class WireFormatError(ReproError):
     """Raised when a wire-format payload (serialized plan terms, tenant
     snapshot, service state) has the wrong version or a malformed shape."""
+
+
+class TransportError(ReproError):
+    """Raised when a network transport operation fails for reasons other
+    than payload shape: a peer closed the connection, a request timed
+    out, a runner died mid-batch.  Transport failures are *retryable* —
+    the remote backplane reconnects with capped exponential backoff and
+    finally degrades to local execution — unlike
+    :class:`WireFormatError`, which marks an incompatible peer and
+    always propagates."""
